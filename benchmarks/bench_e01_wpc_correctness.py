@@ -1,0 +1,56 @@
+"""E1 — Theorem 8: correctness and cost of the substitution WPC algorithm.
+
+Regenerates the table "constraint x transaction -> wpc exact? / wpc size /
+validation time" for first-order transactions, sweeping all graphs on <= 3
+nodes plus larger random graphs.
+"""
+
+import pytest
+
+from repro.db import random_graph
+from repro.logic import parse
+from repro.core import PrerelationSpec, WpcCalculator, find_wpc_counterexample
+from repro.transactions import DeleteWhere, FOProgram, InsertTuple, InsertWhere
+
+
+TRANSACTIONS = {
+    "symmetrise": FOProgram([InsertWhere("E", ("x", "y"), parse("E(y, x)"))], name="symmetrise"),
+    "drop-loops": FOProgram([DeleteWhere("E", ("x", "y"), parse("x = y"))], name="drop-loops"),
+    "compose": FOProgram(
+        [InsertWhere("E", ("x", "y"), parse("exists z . E(x, z) & E(z, y)"))], name="compose"),
+    "insert-pair": FOProgram(
+        [InsertTuple("E", 100, 101), InsertWhere("E", ("x", "y"), parse("E(y, x)"))],
+        name="insert-pair"),
+}
+
+CONSTRAINTS = {
+    "no-loops": parse("forall x . ~E(x, x)"),
+    "has-edge": parse("exists x y . E(x, y)"),
+    "symmetric": parse("forall x y . E(x, y) -> E(y, x)"),
+    "reciprocity": parse("forall x . (exists y . E(x, y)) -> exists z . E(z, x)"),
+}
+
+
+@pytest.mark.parametrize("transaction_name", sorted(TRANSACTIONS))
+def test_e01_wpc_exactness_sweep(benchmark, transaction_name, graphs_3):
+    """Compute wpc for every constraint and validate it exhaustively."""
+    program = TRANSACTIONS[transaction_name]
+    spec = PrerelationSpec.from_fo_program(program)
+    family = graphs_3[:256] + [random_graph(6, 0.3, seed=s) for s in range(4)]
+
+    def run():
+        calculator = WpcCalculator(spec)
+        results = {}
+        for cname, constraint in CONSTRAINTS.items():
+            precondition = calculator.wpc(constraint)
+            witness = find_wpc_counterexample(
+                spec.as_transaction(), constraint, precondition, family
+            )
+            results[cname] = (witness is None, precondition.size(),
+                              precondition.quantifier_rank())
+        return results
+
+    results = benchmark(run)
+    assert all(exact for exact, _size, _rank in results.values())
+    benchmark.extra_info["wpc_sizes"] = {k: v[1] for k, v in results.items()}
+    benchmark.extra_info["wpc_ranks"] = {k: v[2] for k, v in results.items()}

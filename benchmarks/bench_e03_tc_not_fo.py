@@ -1,0 +1,49 @@
+"""E3 — Theorem 2, Claim 1: transitive closure has no FO weakest precondition.
+
+The precondition of ``forall x y . E(x, y)`` under tc is connectivity.  The
+benchmark regenerates the witness series: for growing n, the cycle families
+C^1_n (one 2n-cycle) and C^2_n (two n-cycles)
+
+* have identical Hanf r-type censuses (so no FO sentence of the corresponding
+  rank separates them), while
+* the tc images differ on the constraint (one is totally connected, the other
+  is not).
+
+Measured: the Hanf census comparison plus the EF-game cross-check on the small
+instance.
+"""
+
+import pytest
+
+from repro.db import double_cycle_family, single_cycle_family
+from repro.fmt import duplicator_wins, same_type_counts
+from repro.logic.builder import totally_connected
+from repro.core import SemanticPrecondition
+from repro.transactions import tc_transaction
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_e03_cycle_families_indistinguishable_but_tc_separates(benchmark, n):
+    constraint = totally_connected()
+    oracle = SemanticPrecondition(tc_transaction(), constraint)
+
+    def run():
+        one, two = single_cycle_family(n), double_cycle_family(n)
+        radius = max(1, min(3, n // 2 - 1))
+        equivalent = same_type_counts(one, two, radius)
+        separated = oracle.holds(one) != oracle.holds(two)
+        return equivalent, separated, radius
+
+    equivalent, separated, radius = benchmark(run)
+    assert equivalent, f"Hanf censuses differ at n={n}, radius={radius}"
+    assert separated, f"tc images agree at n={n} (they must differ)"
+    benchmark.extra_info["radius"] = radius
+
+
+def test_e03_ef_game_cross_check(benchmark):
+    """On the smallest instance, decide the 2-round EF game exactly."""
+
+    def run():
+        return duplicator_wins(single_cycle_family(3), double_cycle_family(3), 2)
+
+    assert benchmark(run)

@@ -1,0 +1,48 @@
+"""E4 — Theorem 2, Claim 2 and Lemma 1: dtc, psi_C&C and the chain test.
+
+* Lemma 1: psi_C&C defines exactly the C&C graphs (checked exhaustively on all
+  graphs with <= 3 nodes — 512 structures).
+* Claim 2: the precondition of ``forall x y . x != y -> E(x,y) | E(y,x)``
+  under dtc, conjoined with psi_C&C, is the chain test; chains and
+  chain-plus-cycle graphs of growing size are separated by the dtc image while
+  remaining C&C graphs throughout.
+"""
+
+import pytest
+
+from repro.db import chain, chain_and_cycles, is_chain_and_cycle_graph
+from repro.logic import evaluate, parse
+from repro.logic.builder import psi_cc
+from repro.core import SemanticPrecondition
+from repro.transactions import dtc_transaction
+
+
+def test_e04_lemma1_psi_cc_exhaustive(benchmark, graphs_3):
+    sentence = psi_cc()
+
+    def run():
+        return sum(
+            1 for g in graphs_3 if evaluate(sentence, g) == is_chain_and_cycle_graph(g)
+        )
+
+    agreement = benchmark(run)
+    assert agreement == len(graphs_3)
+    benchmark.extra_info["graphs_checked"] = agreement
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_e04_dtc_precondition_is_chain_test(benchmark, n):
+    alpha = parse("forall x y . x != y -> E(x, y) | E(y, x)")
+    oracle = SemanticPrecondition(dtc_transaction(), alpha)
+
+    def run():
+        pure_chain = chain(n)
+        chain_plus_cycle = chain_and_cycles(n, [3])
+        return (
+            oracle.holds(pure_chain),
+            oracle.holds(chain_plus_cycle),
+            evaluate(psi_cc(), pure_chain) and evaluate(psi_cc(), chain_plus_cycle),
+        )
+
+    on_chain, on_mixed, both_cc = benchmark(run)
+    assert on_chain and not on_mixed and both_cc

@@ -1,0 +1,53 @@
+"""E5 — Theorem 2, Claim 3: same-generation has no FO weakest precondition.
+
+Regenerates the witness series: for growing radius r and n = 2r + 2, the trees
+G_{n,n} and G_{n-1,n+1}
+
+* realise every Hanf r-type exactly the same number of times, while
+* the constraint alpha_1 / alpha_3 ("exactly i isolated nodes") separates
+  their same-generation images.
+
+Measured: the full r-type census comparison plus the sg computation.
+"""
+
+import pytest
+
+from repro.db import two_branch_tree
+from repro.db.graph import same_generation
+from repro.fmt import same_type_counts, type_census
+from repro.logic import evaluate
+from repro.logic.builder import alpha_isolated_exactly
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_e05_gnn_hanf_equivalent_but_sg_separates(benchmark, radius):
+    n = 2 * radius + 2
+
+    def run():
+        balanced = two_branch_tree(n, n)
+        skewed = two_branch_tree(n - 1, n + 1)
+        census_equal = same_type_counts(balanced, skewed, radius)
+        sg_balanced = same_generation(balanced)
+        sg_skewed = same_generation(skewed)
+        separating = (
+            evaluate(alpha_isolated_exactly(1), sg_balanced)
+            and evaluate(alpha_isolated_exactly(3), sg_skewed)
+            and not evaluate(alpha_isolated_exactly(1), sg_skewed)
+        )
+        return census_equal, separating, len(type_census(balanced, radius))
+
+    census_equal, separating, distinct_types = benchmark(run)
+    assert census_equal
+    assert separating
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["distinct_types"] = distinct_types
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_e05_census_scaling(benchmark, n):
+    """Cost of the r = 2 census comparison as the trees grow."""
+
+    def run():
+        return same_type_counts(two_branch_tree(n, n), two_branch_tree(n - 1, n + 1), 2)
+
+    assert benchmark(run)

@@ -1,0 +1,78 @@
+"""E6 — Theorem 3: the negative results extend to FOcount, FOc(Omega), monadic Sigma-1-1.
+
+Regenerates three series:
+
+* FOcount: the parity and equal-cardinality sentences evaluate correctly, and
+  the FO expansion of a concrete counting quantifier pays a rank cost equal to
+  the threshold;
+* FOc(Omega) / linear orders: the middle-element argument — rank-k FO(<)
+  sentences cannot distinguish linear orders of size > 2^k (game-checked on
+  small instances, criterion-checked on larger ones), so the even-cardinality
+  test needed by the proof is not expressible;
+* monadic Sigma-1-1: brute-force evaluation of 2-colourability on the cycle
+  families (C^1 vs C^2), the structures behind the Ajtai–Fagin argument.
+"""
+
+import pytest
+
+from repro.db import cycle, diagonal_graph, double_cycle_family, linear_order, single_cycle_family
+from repro.fmt import duplicator_wins, ef_equivalent_linear_orders
+from repro.logic import (
+    CountingExists,
+    counting_to_first_order,
+    evaluate,
+    evaluate_parity,
+    parse,
+    two_colorability,
+)
+from repro.logic.syntax import Atom
+
+
+def test_e06_focount_parity_and_expansion(benchmark):
+    loop = Atom("E", "x", "x")
+
+    def run():
+        results = []
+        for size in range(1, 9):
+            graph = diagonal_graph(range(size))
+            results.append(evaluate_parity(loop, "x", graph, odd=True) == (size % 2 == 1))
+        sentence = CountingExists("x", 4, loop)
+        expansion = counting_to_first_order(sentence)
+        return all(results), expansion.quantifier_rank()
+
+    all_correct, expansion_rank = benchmark(run)
+    assert all_correct
+    assert expansion_rank >= 4  # the FO encoding pays rank >= threshold
+    benchmark.extra_info["expansion_rank"] = expansion_rank
+
+
+@pytest.mark.parametrize("rank", [1, 2, 3])
+def test_e06_linear_orders_indistinguishable_beyond_threshold(benchmark, rank):
+    threshold = 2 ** rank
+
+    def run():
+        game_ok = duplicator_wins(linear_order(threshold), linear_order(threshold + 1), rank)
+        criterion_ok = all(
+            ef_equivalent_linear_orders(threshold + i, threshold + j, rank)
+            for i in range(3) for j in range(3)
+        )
+        below = not ef_equivalent_linear_orders(1, threshold + 1, rank) if threshold > 2 else True
+        return game_ok, criterion_ok, below
+
+    game_ok, criterion_ok, below = benchmark(run)
+    assert game_ok and criterion_ok and below
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_e06_monadic_sigma11_on_cycle_families(benchmark, n):
+    """2-colourability (a monadic Sigma-1-1 property) on C^1_n vs C^2_n."""
+    sentence = two_colorability()
+
+    def run():
+        return sentence.holds(single_cycle_family(n)), sentence.holds(double_cycle_family(n))
+
+    on_single, on_double = benchmark(run)
+    # C^1_n is a 2n-cycle (always 2-colourable); C^2_n is two n-cycles
+    # (2-colourable iff n is even)
+    assert on_single
+    assert on_double == (n % 2 == 0)

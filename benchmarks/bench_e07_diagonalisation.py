@@ -1,0 +1,78 @@
+"""E7 — Theorem 5: no transaction language captures WPC(FO).
+
+Runs the diagonalisation construction against a toy transaction language and
+measures the cost of building the diagonal transaction to a given depth,
+asserting both certified properties:
+
+* the diagonal transaction differs from every enumerated transaction, and
+* it preserves the =_n equivalence classes needed by Lemma 6, whose
+  weakest-precondition algorithm is then exercised.
+"""
+
+import pytest
+
+from repro.logic import evaluate
+from repro.core import DiagonalConstruction
+from repro.transactions import (
+    IdentityTransaction,
+    TransactionLanguage,
+    complete_graph_transaction,
+    diagonal_transaction,
+    tc_transaction,
+)
+
+
+def toy_language():
+    return TransactionLanguage(
+        "toy",
+        transactions=[
+            IdentityTransaction(),
+            tc_transaction(),
+            diagonal_transaction(),
+            complete_graph_transaction(),
+        ],
+    )
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4])
+def test_e07_diagonalisation_depth(benchmark, depth):
+    def run():
+        construction = DiagonalConstruction(toy_language(), search_limit=3000)
+        transaction = construction.transaction(depth)
+        escapes = all(
+            transaction.apply(construction.graphs[construction.P(n)])
+            != construction.language[n - 1].apply(construction.graphs[construction.P(n)])
+            for n in range(1, depth + 1)
+        )
+        preserves_classes = all(
+            construction.sentences.equivalent_n(
+                transaction.apply(construction.graphs[construction.P(n)]),
+                construction.graphs[construction.P(n)],
+                n - 1,
+            )
+            for n in range(1, depth + 1)
+        )
+        return escapes, preserves_classes, construction.P(depth)
+
+    escapes, preserves_classes, last_index = benchmark(run)
+    assert escapes and preserves_classes
+    benchmark.extra_info["P(depth)"] = last_index
+
+
+def test_e07_lemma6_precondition(benchmark):
+    construction = DiagonalConstruction(toy_language(), search_limit=3000)
+    transaction = construction.transaction(3)
+    stable = construction.P(3)
+
+    def run():
+        mismatches = 0
+        for sentence_index in (0, 1, 2, 3):
+            precondition = transaction.weakest_precondition(sentence_index, stable)
+            phi = construction.sentences[sentence_index]
+            for i in range(40):
+                g = construction.graphs[i]
+                if evaluate(precondition, g) != evaluate(phi, transaction.apply(g)):
+                    mismatches += 1
+        return mismatches
+
+    assert benchmark(run) == 0

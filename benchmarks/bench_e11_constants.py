@@ -1,0 +1,80 @@
+"""E11 — Propositions 4 and 5: the role of constants (FOc).
+
+* Proposition 5: the Theorem 7 transaction has no weakest precondition over
+  FOc.  The benchmark refutes a family of candidate FOc preconditions for the
+  constraint alpha_c on graph families that do / do not contain the constant,
+  and measures how the refutation cost grows with the family.
+* Proposition 4: for a *generic* transaction that does have FOc preconditions,
+  the constructive proof recovers a prerelation from wpc(T, E(c, d)); the
+  benchmark runs the construction and validates the recovered prerelation.
+"""
+
+import pytest
+
+from repro.db import Database, chain, chain_and_cycles, cycle
+from repro.logic import parse
+from repro.logic.builder import psi_cc
+from repro.core import (
+    ChainTransaction,
+    PrerelationSpec,
+    WpcCalculator,
+    chain_test_reduction,
+    generic_prerelation_from_wpc,
+    proposition5_constraint,
+)
+from repro.transactions import FOProgram, InsertWhere
+
+
+def graph_family(sizes):
+    family = [chain(n) for n in sizes]
+    family += [chain_and_cycles(n, [3]) for n in sizes]
+    family += [chain(3, labels=["c", 1, 2]), chain(4, labels=[1, "c", 2, 3])]
+    family += [chain_and_cycles(2, [3], labels=[0, 1, "c", 3, 4]), cycle(4)]
+    return family
+
+
+@pytest.mark.parametrize("max_size", [4, 6, 8])
+def test_e11_prop5_candidates_all_refuted(benchmark, max_size):
+    transaction = ChainTransaction()
+    family = graph_family(range(2, max_size + 1))
+    candidates = [
+        parse("true"),
+        parse("false"),
+        psi_cc(),
+        parse("exists x y . E(x, y) & x != y"),
+        proposition5_constraint("c"),
+    ]
+
+    def run():
+        return sum(
+            1
+            for candidate in candidates
+            if chain_test_reduction(candidate, "c", family, transaction) is not None
+        )
+
+    refuted = benchmark(run)
+    assert refuted == len(candidates)
+    benchmark.extra_info["family_size"] = len(family)
+
+
+def test_e11_prop4_generic_prerelation_recovery(benchmark, graphs_2):
+    program = FOProgram([InsertWhere("E", ("x", "y"), parse("E(y, x)"))], name="sym")
+    spec = PrerelationSpec.from_fo_program(program)
+    calculator = WpcCalculator(spec)
+
+    def wpc_of_edge_atom(c, d):
+        from repro.logic.syntax import Atom
+        from repro.logic.terms import Const
+
+        return calculator.wpc(Atom("E", Const(c), Const(d)))
+
+    def run():
+        definition = generic_prerelation_from_wpc(wpc_of_edge_atom)
+        recovered = PrerelationSpec.for_graph(
+            definition.body, definition.variables, name="recovered"
+        ).as_transaction()
+        original = spec.as_transaction()
+        return sum(1 for g in graphs_2 if recovered.apply(g) == original.apply(g))
+
+    matches = benchmark(run)
+    assert matches == len(graphs_2)

@@ -1,0 +1,60 @@
+"""E14 — Fact A / Proposition 1: the Preserve problem and its reduction.
+
+* The reduction: for FO sentences beta, bounded finite validity of beta equals
+  the conjunction of the two bounded Preserve answers produced by the
+  Proposition 1 construction (T1 = diagonal, T2 = complete graph) — checked on
+  all graphs with <= 3 nodes.
+* The cost of the bounded Preserve procedures themselves (exhaustive vs
+  exhaustive-up-to-isomorphism vs randomised), the ablation called out in
+  DESIGN.md.
+"""
+
+import pytest
+
+from repro.logic import parse
+from repro.core import PreservationReduction, preserves_bounded, preserves_randomized
+from repro.transactions import tc_transaction
+
+
+BETAS = {
+    "tautology": parse("forall x y . E(x, y) -> E(x, y)"),
+    "has-loop": parse("exists x . E(x, x)"),
+    "symmetric": parse("forall x y . E(x, y) -> E(y, x)"),
+    "out-edge-everywhere": parse("forall x . exists y . E(x, y)"),
+}
+
+
+@pytest.mark.parametrize("beta_name", sorted(BETAS))
+def test_e14_reduction_equivalence(benchmark, beta_name, graphs_3):
+    beta = BETAS[beta_name]
+    family = graphs_3[:300]
+
+    def run():
+        reduction = PreservationReduction(beta)
+        validity = reduction.beta_valid_on(family)
+        first, second = reduction.preserve_answers_on(family)
+        return validity, first and second
+
+    validity, preserve_both = benchmark(run)
+    assert validity == preserve_both
+    benchmark.extra_info["finitely_valid_on_family"] = validity
+
+
+@pytest.mark.parametrize("mode", ["exhaustive", "up-to-iso", "randomized"])
+def test_e14_bounded_preserve_cost(benchmark, mode):
+    """Cost ablation of the bounded Preserve procedures on the same instance."""
+    transaction = tc_transaction()
+    constraint = parse("forall x . ~E(x, x)")
+
+    def run():
+        if mode == "exhaustive":
+            ok, _ = preserves_bounded(transaction, constraint, max_nodes=3)
+        elif mode == "up-to-iso":
+            ok, _ = preserves_bounded(transaction, constraint, max_nodes=3, up_to_isomorphism=True)
+        else:
+            ok, _ = preserves_randomized(transaction, constraint, samples=150, max_nodes=7, seed=5)
+        return ok
+
+    preserved = benchmark(run)
+    # tc does not preserve loop-freeness: every mode must find a violation
+    assert not preserved

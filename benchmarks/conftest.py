@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of EXPERIMENTS.md (see the index in
+DESIGN.md).  Benchmarks both *measure* (via pytest-benchmark) and *assert the
+qualitative shape* of the corresponding result, so running
+``pytest benchmarks/ --benchmark-only`` doubles as an end-to-end check of the
+reproduction.  Key figures are attached to ``benchmark.extra_info`` so they
+appear in the saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import all_graphs
+
+
+@pytest.fixture(scope="session")
+def graphs_3():
+    """All directed graphs (with loops) over subsets of {0, 1, 2}."""
+    return list(all_graphs(3))
+
+
+@pytest.fixture(scope="session")
+def graphs_2():
+    """All directed graphs (with loops) over subsets of {0, 1}."""
+    return list(all_graphs(2))

@@ -1,0 +1,69 @@
+"""Quickstart: weakest preconditions for a first-order transaction.
+
+The scenario: a small social-graph database with a "follows" edge relation.
+We write a Qian-style transaction that symmetrises the graph (everyone follows
+back), state two integrity constraints, compute their weakest preconditions
+with the Theorem 8 algorithm, and show that the guarded transaction
+``if wpc then T else abort`` never violates the constraints — with no
+run-time roll-back.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.db import Database
+from repro.logic import evaluate, parse
+from repro.core import PrerelationSpec, WpcCalculator, make_safe
+from repro.transactions import FOProgram, InsertWhere, TransactionAbortedSignal
+
+
+def main() -> None:
+    # 1. A database: E(x, y) means "x follows y".
+    db = Database.graph([("ann", "bob"), ("bob", "cho"), ("cho", "ann"), ("dan", "dan")])
+    print("initial database:", sorted(db.edges))
+
+    # 2. A transaction in the first-order transaction language: make the
+    #    follow relation symmetric.
+    symmetrise = FOProgram(
+        [InsertWhere("E", ("x", "y"), parse("E(y, x)"))],
+        name="symmetrise",
+    )
+
+    # 3. Integrity constraints, written in plain first-order logic.
+    no_self_follow = parse("forall x . ~E(x, x)")
+    everyone_followed = parse("forall x . (exists y . E(x, y)) -> exists z . E(z, x)")
+
+    # 4. The transaction admits prerelations (it is first-order definable), so
+    #    the Theorem 8 algorithm gives weakest preconditions syntactically.
+    spec = PrerelationSpec.from_fo_program(symmetrise)
+    calculator = WpcCalculator(spec)
+
+    for name, constraint in [("no-self-follow", no_self_follow),
+                             ("everyone-followed", everyone_followed)]:
+        precondition = calculator.wpc(constraint)
+        print(f"\nconstraint      : {name}")
+        print(f"  holds now?    : {evaluate(constraint, db)}")
+        print(f"  wpc size/rank : {precondition.size()} nodes, "
+              f"rank {precondition.quantifier_rank()}")
+        print(f"  wpc holds now?: {evaluate(precondition, db)}")
+        after = symmetrise.apply(db)
+        print(f"  holds after T : {evaluate(constraint, after)} "
+              "(must equal the wpc verdict)")
+
+    # 5. The guarded transaction is safe by construction.
+    precondition = calculator.wpc(no_self_follow)
+    safe = make_safe(spec.as_transaction(), precondition, on_abort="raise")
+    try:
+        result = safe.apply(db)
+        print("\nguarded transaction committed; edges now:", sorted(result.edges))
+    except TransactionAbortedSignal:
+        print("\nguarded transaction refused to run (the post-state would "
+              "violate no-self-follow)")
+
+    # The database with the self-loop removed passes the guard.
+    clean = db.delete("E", ("dan", "dan"))
+    result = safe.apply(clean)
+    print("on the cleaned database it commits; edges:", sorted(result.edges))
+
+
+if __name__ == "__main__":
+    main()

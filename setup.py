@@ -1,0 +1,13 @@
+"""Setuptools entry point.
+
+NOTE: this project deliberately ships a ``setup.py``/``setup.cfg`` pair instead
+of a ``pyproject.toml`` build-system section.  The reproduction environment is
+fully offline; a ``pyproject.toml`` would make ``pip install -e .`` create an
+isolated build environment and try to download setuptools/wheel, which fails
+without network access.  The legacy path used here installs with the
+interpreter's existing setuptools and works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro — Verifiable Properties of Database Transactions.
+
+A from-scratch reproduction of Benedikt, Griffin & Libkin, "Verifiable
+Properties of Database Transactions" (PODS 1996; Information and Computation
+147:57-88, 1998): weakest preconditions and prerelations for database
+transactions, the transaction and specification languages the paper studies,
+the finite-model-theory toolkit its proofs rely on, and an integrity-
+maintenance engine demonstrating the practical payoff.
+
+Sub-packages
+------------
+``repro.db``
+    Relational schemas, finite databases, graph families, relational algebra,
+    graph enumerations, and a transactional storage engine.
+``repro.logic``
+    Specification languages: FO, FOc, FOc(Omega), FO with counting, monadic
+    Sigma-1-1; parsing, evaluation, normal forms, rewriting.
+``repro.fmt``
+    Finite model theory: isomorphism, Hanf locality, Ehrenfeucht-Fraisse and
+    Ajtai-Fagin games, Gaifman locality, degree counts.
+``repro.transactions``
+    Transaction languages: relational algebra (SPJ), the Qian-style
+    first-order language, Datalog with stratified negation, recursive
+    transactions (tc, dtc, same-generation), while-iteration.
+``repro.core``
+    The paper's contribution: prerelations, the weakest-precondition
+    calculus, transaction-safety verification, integrity maintenance, robust
+    verifiability, and the Theorem 5 / Theorem 7 constructions.
+
+Quickstart
+----------
+>>> from repro.db import chain
+>>> from repro.logic import parse
+>>> from repro.transactions import FOProgram, DeleteWhere
+>>> from repro.core import PrerelationSpec, WpcCalculator
+>>> program = FOProgram([DeleteWhere("E", ("x", "y"), parse("E(y, x)"))])
+>>> spec = PrerelationSpec.from_fo_program(program)
+>>> wpc = WpcCalculator(spec).wpc(parse("forall x . ~E(x, x)"))
+>>> # wpc holds on a database iff the constraint holds after the program runs.
+"""
+
+from . import core, db, fmt, logic, transactions
+from .core import (
+    ChainTransaction,
+    ChainWpcCalculator,
+    Constraint,
+    IntegrityMaintainer,
+    PrerelationSpec,
+    PrerelationTransaction,
+    SemanticPrecondition,
+    WpcCalculator,
+    WpcError,
+    check_wpc,
+    make_safe,
+    preserves_bounded,
+    weakest_precondition,
+)
+from .db import Database, Schema, Store
+from .logic import Formula, evaluate, parse
+from .transactions import FOProgram, Transaction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "db",
+    "fmt",
+    "logic",
+    "transactions",
+    "ChainTransaction",
+    "ChainWpcCalculator",
+    "Constraint",
+    "IntegrityMaintainer",
+    "PrerelationSpec",
+    "PrerelationTransaction",
+    "SemanticPrecondition",
+    "WpcCalculator",
+    "WpcError",
+    "check_wpc",
+    "make_safe",
+    "preserves_bounded",
+    "weakest_precondition",
+    "Database",
+    "Schema",
+    "Store",
+    "Formula",
+    "evaluate",
+    "parse",
+    "FOProgram",
+    "Transaction",
+    "__version__",
+]

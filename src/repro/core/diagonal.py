@@ -1,0 +1,294 @@
+"""The diagonalisation of Theorem 5: no transaction language captures ``WPC(FO)``.
+
+Given any transaction language — any effective enumeration ``T_1, T_2, ...``
+of transactions — the paper constructs a transaction ``T`` that
+
+* differs from every ``T_m`` (``T(G_{P(m)}) != T_m(G_{P(m)})``), yet
+* is in ``WPC(FOc(Omega))``: for every ``n`` there is a bound ``P(n)`` such
+  that for all ``i > P(n)`` the transaction maps ``G_i`` to a graph that is
+  ``=_n``-equivalent to it (``=_n``: agreement on the first ``n`` sentences of
+  an enumeration of the specification language), which by Lemma 6 is enough to
+  compute weakest preconditions.
+
+This module implements the construction *faithfully but boundedly*: the graph
+enumeration, the ``=_n`` equivalence classes, the function ``H(m, n)`` and the
+index sequences ``P``/``Q`` are all computed exactly as in the proof, over a
+finite prefix of the enumerations (everything involved is computable, just
+expensive).  Experiment E7 runs the construction for a toy transaction
+language and verifies both bullet points mechanically, and exercises Lemma 6's
+weakest-precondition algorithm for the constructed transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.enumeration import GraphEnumeration
+from ..logic.builder import (
+    at_least_n_elements,
+    has_nonloop_edge,
+    has_some_edge,
+    psi_cc,
+    totally_connected,
+)
+from ..logic.evaluation import evaluate
+from ..logic.syntax import Atom, Exists, Forall, Formula, Not, make_and, make_or
+from ..transactions.base import Transaction, TransactionLanguage
+
+__all__ = [
+    "default_sentence_enumeration",
+    "SentenceEnumeration",
+    "DiagonalConstruction",
+    "DiagonalTransaction",
+]
+
+
+def default_sentence_enumeration(limit: int = 64) -> List[Formula]:
+    """A concrete effective enumeration ``phi_0, phi_1, ...`` of FO sentences.
+
+    Any fixed recursive enumeration works for the construction; this one mixes
+    the stock sentences of the paper with size/edge-count sentences so that
+    consecutive ``=_n`` equivalences are reasonably discriminating on small
+    graphs (which keeps the bounded construction interesting).
+    """
+    from ..logic.builder import (
+        alpha_isolated_exactly,
+        at_least_n_satisfying,
+        exactly_n_elements,
+        is_diagonal_sentence,
+    )
+
+    sentences: List[Formula] = [
+        has_some_edge(),
+        has_nonloop_edge(),
+        Exists("x", Atom("E", "x", "x")),
+        totally_connected(),
+        is_diagonal_sentence(),
+        psi_cc(),
+    ]
+    index = 1
+    while len(sentences) < limit:
+        sentences.append(at_least_n_elements(index))
+        if len(sentences) < limit:
+            sentences.append(at_least_n_satisfying(index, "x", Atom("E", "x", "x")))
+        if len(sentences) < limit:
+            sentences.append(alpha_isolated_exactly(index))
+        index += 1
+    return sentences[:limit]
+
+
+class SentenceEnumeration:
+    """An indexable enumeration of FO sentences with ``=_n`` equivalence."""
+
+    def __init__(self, sentences: Optional[Sequence[Formula]] = None):
+        self.sentences: List[Formula] = list(sentences or default_sentence_enumeration())
+        self._truth_cache: Dict[Tuple[int, int], bool] = {}
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def __getitem__(self, index: int) -> Formula:
+        return self.sentences[index]
+
+    def truth_vector(self, db: Database, n: int, db_key: Optional[int] = None) -> Tuple[bool, ...]:
+        """The truth values of the first ``n`` sentences on ``db``."""
+        values = []
+        for i in range(min(n, len(self.sentences))):
+            if db_key is not None and (db_key, i) in self._truth_cache:
+                values.append(self._truth_cache[(db_key, i)])
+                continue
+            value = evaluate(self.sentences[i], db)
+            if db_key is not None:
+                self._truth_cache[(db_key, i)] = value
+            values.append(value)
+        return tuple(values)
+
+    def equivalent_n(self, a: Database, b: Database, n: int) -> bool:
+        """``a =_n b``: agreement on the first ``n`` sentences."""
+        return self.truth_vector(a, n) == self.truth_vector(b, n)
+
+
+class DiagonalConstruction:
+    """The Theorem 5 construction, bounded to a prefix of the enumerations.
+
+    Parameters
+    ----------
+    language:
+        The transaction language (enumeration ``T_1, T_2, ...``) to diagonalise
+        against.  Indexing follows the paper: ``T_m`` is ``language[m - 1]``.
+    sentences:
+        The specification-language enumeration defining ``=_n``.
+    search_limit:
+        How far into the graph enumeration the search for ``H(m, n)`` pairs may
+        go; the construction raises if the limit is hit (increase it).
+    """
+
+    def __init__(
+        self,
+        language: TransactionLanguage,
+        sentences: Optional[SentenceEnumeration] = None,
+        search_limit: int = 4000,
+    ):
+        self.language = language
+        self.sentences = sentences or SentenceEnumeration()
+        self.graphs = GraphEnumeration()
+        self.search_limit = search_limit
+        self._p_cache: Dict[int, int] = {0: 1}
+        self._q_cache: Dict[int, int] = {0: 1}
+
+    # -- the paper's H, P and Q ----------------------------------------------------
+
+    def H(self, m: int, n: int) -> Tuple[int, int]:
+        """The lexicographically least ``(i, j)`` with ``m < i < j``, ``G_j =_n G_i``
+        and ``G_j != G_i``."""
+        for i in range(m + 1, self.search_limit):
+            g_i = self.graphs[i]
+            vector_i = self.sentences.truth_vector(g_i, n, db_key=i)
+            for j in range(i + 1, self.search_limit):
+                g_j = self.graphs[j]
+                if g_j == g_i:
+                    continue
+                if self.sentences.truth_vector(g_j, n, db_key=j) == vector_i:
+                    return (i, j)
+        raise RuntimeError(
+            f"H({m}, {n}) not found within the search limit {self.search_limit}; "
+            "increase search_limit"
+        )
+
+    def P(self, n: int) -> int:
+        """``P(0) = 1``; ``P(n+1)`` is the first component of ``H(P(n), n)``."""
+        if n not in self._p_cache:
+            previous = self.P(n - 1)
+            i, j = self.H(previous, n - 1)
+            self._p_cache[n] = i
+            self._q_cache[n] = j
+        return self._p_cache[n]
+
+    def Q(self, n: int) -> int:
+        """``Q(0) = 1``; ``Q(n+1)`` is the second component of ``H(P(n), n)``."""
+        if n not in self._q_cache:
+            self.P(n)
+        return self._q_cache[n]
+
+    def p_range(self, up_to: int) -> List[int]:
+        """``[P(1), ..., P(up_to)]`` (the indices where T acts non-trivially)."""
+        return [self.P(n) for n in range(1, up_to + 1)]
+
+    # -- the diagonal transaction -----------------------------------------------------
+
+    def transaction(self, depth: int) -> "DiagonalTransaction":
+        """The diagonal transaction, materialised for indices up to ``P(depth)``.
+
+        ``depth`` bounds how many levels of the construction are computed;
+        graphs with enumeration index beyond ``P(depth)`` are mapped to
+        themselves by this bounded materialisation, which agrees with the full
+        construction on every index ``<= P(depth)`` (the only indices the
+        experiments inspect).
+        """
+        mapping: Dict[int, Database] = {}
+        for n in range(1, depth + 1):
+            i = self.P(n)
+            j = self.Q(n)
+            g_i, g_j = self.graphs[i], self.graphs[j]
+            # T_{P^{-1}(i)} = T_n (paper indexing T_m with m >= 1)
+            try:
+                competitor = self.language[n - 1].apply(g_i)
+            except Exception:
+                competitor = None
+            # choose the one of G_i, G_j that differs from the competitor's
+            # output (both differ -> take the smaller index, as in the paper)
+            if competitor is None:
+                target = g_i
+            elif g_i != competitor and g_j != competitor:
+                target = self.graphs[min(i, j)]
+            elif g_i != competitor:
+                target = g_i
+            else:
+                target = g_j
+            mapping[i] = target
+        return DiagonalTransaction(self, mapping)
+
+
+class DiagonalTransaction(Transaction):
+    """The transaction built by :class:`DiagonalConstruction` (bounded materialisation)."""
+
+    name = "theorem5-diagonal"
+
+    def __init__(self, construction: DiagonalConstruction, mapping: Dict[int, Database]):
+        self.construction = construction
+        self.mapping = mapping
+
+    def apply(self, db: Database) -> Database:
+        index = self.construction.graphs.index_of(
+            db, search_limit=self.construction.search_limit
+        )
+        if index is None:
+            return db
+        return self.mapping.get(index, db)
+
+    # -- the Lemma 6 weakest-precondition algorithm -------------------------------------
+
+    def weakest_precondition(self, sentence_index: int, stable_beyond: int) -> Formula:
+        """Lemma 6's precondition for the ``sentence_index``-th enumerated sentence.
+
+        ``stable_beyond`` plays the role of ``m = P(n)``: the caller guarantees
+        (and the tests verify) that for every enumeration index ``i`` greater
+        than it, ``T(G_i) =_n G_i`` where ``n >= sentence_index + 1``.  The
+        precondition is then
+
+        ``chi  |  (~psi & phi)``
+
+        where ``chi`` defines the finite set ``{G_i : i <= stable_beyond,
+        T(G_i) |= phi}`` and ``psi`` defines ``{G_i : i <= stable_beyond}``.
+        Defining finite sets of concrete graphs in FOc uses one constant per
+        node, provided by :func:`describe_graph_exactly`.
+        """
+        phi = self.construction.sentences[sentence_index]
+        good: List[Formula] = []
+        prefix: List[Formula] = []
+        for i in range(stable_beyond + 1):
+            graph = self.construction.graphs[i]
+            prefix.append(describe_graph_exactly(graph))
+            if evaluate(phi, self.apply(graph)):
+                good.append(describe_graph_exactly(graph))
+        from ..logic.syntax import BOTTOM
+
+        chi = make_or(*good) if good else BOTTOM
+        psi = make_or(*prefix)
+        return make_or(chi, make_and(Not(psi), phi))
+
+
+def describe_graph_exactly(db: Database) -> Formula:
+    """An FOc sentence satisfied by exactly the given graph.
+
+    Uses one constant per node: the sentence says every listed edge is present,
+    no other pair over the listed nodes is an edge, every listed node is active
+    and there are no further active elements.
+    """
+    from ..logic.terms import Const
+
+    nodes = sorted(db.active_domain, key=repr)
+    edges = set(db.edges)
+    conjuncts: List[Formula] = []
+    for x in nodes:
+        for y in nodes:
+            atom = Atom("E", Const(x), Const(y))
+            conjuncts.append(atom if (x, y) in edges else Not(atom))
+    # every active element is one of the listed nodes
+    if nodes:
+        closure = Forall(
+            "z",
+            make_or(*[_equals_constant("z", node) for node in nodes]),
+        )
+        conjuncts.append(closure)
+    else:
+        conjuncts.append(Not(has_some_edge()))
+    return make_and(*conjuncts) if conjuncts else Not(has_some_edge())
+
+
+def _equals_constant(variable: str, value: object) -> Formula:
+    from ..logic.syntax import Eq
+    from ..logic.terms import Const, Var
+
+    return Eq(Var(variable), Const(value))

@@ -1,0 +1,225 @@
+"""Integrity maintenance: run-time monitoring versus static verification.
+
+The introduction of the paper contrasts two ways of keeping integrity
+constraints true while transactions run:
+
+* **run-time monitoring** — execute the transaction, evaluate every constraint
+  on the tentative post-state and roll the transaction back if one fails; the
+  constraint checks and the roll-backs happen inside the critical path;
+* **static verification via weakest preconditions** — evaluate
+  ``wpc(T, alpha)`` on the *current* state and refuse to execute the
+  transaction when it fails; nothing ever has to be rolled back, and when the
+  precondition can be simplified (e.g. assuming ``alpha`` already holds) the
+  check can be far cheaper than re-checking ``alpha`` from scratch.
+
+This module implements both policies (plus an unsafe baseline) on top of the
+transactional :class:`~repro.db.storage.Store`, together with an
+:class:`IntegrityMaintainer` that executes a stream of transactions under a
+chosen policy and collects the statistics (commits, aborts, rolled-back
+writes, wall time) that experiment E13 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..db.database import Database
+from ..db.storage import Store
+from ..logic.evaluation import evaluate
+from ..logic.signature import EMPTY_SIGNATURE, Signature
+from ..logic.syntax import Formula
+from ..transactions.base import Transaction
+
+__all__ = [
+    "Constraint",
+    "MaintenancePolicy",
+    "UncheckedPolicy",
+    "RuntimeCheckPolicy",
+    "StaticPreconditionPolicy",
+    "MaintenanceReport",
+    "IntegrityMaintainer",
+]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named integrity constraint with an optional precomputed precondition map.
+
+    ``preconditions`` maps transaction names to their weakest precondition for
+    this constraint; the static policy looks preconditions up there (they are
+    computed once, offline — that is the point of static verification).
+    """
+
+    name: str
+    formula: object  # Formula or an object with .holds(db)
+    preconditions: Dict[str, object] = field(default_factory=dict)
+
+    def holds(self, db: Database, signature: Signature = EMPTY_SIGNATURE) -> bool:
+        if isinstance(self.formula, Formula):
+            return evaluate(self.formula, db, signature=signature)
+        return self.formula.holds(db)
+
+    def precondition_for(self, transaction: Transaction):
+        return self.preconditions.get(transaction.name)
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome statistics of running a workload under a maintenance policy."""
+
+    policy: str = ""
+    attempted: int = 0
+    committed: int = 0
+    rejected_statically: int = 0
+    rolled_back: int = 0
+    violations_missed: int = 0
+    constraint_evaluations: int = 0
+    precondition_evaluations: int = 0
+    wall_time: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy}: {self.committed}/{self.attempted} committed, "
+            f"{self.rejected_statically} rejected statically, "
+            f"{self.rolled_back} rolled back, "
+            f"{self.violations_missed} violations missed, "
+            f"{self.wall_time * 1000:.1f} ms"
+        )
+
+
+class MaintenancePolicy:
+    """Strategy interface: decide how a transaction is executed against a store."""
+
+    name = "abstract"
+
+    def execute(
+        self,
+        store: Store,
+        transaction: Transaction,
+        constraints: Sequence[Constraint],
+        report: MaintenanceReport,
+        signature: Signature,
+    ) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class UncheckedPolicy(MaintenancePolicy):
+    """Apply the transaction without any integrity checking (unsafe baseline).
+
+    The report records how many constraint violations this lets through
+    (measured after the fact, outside the timed section) so the benchmark can
+    show what the other two policies are paying for.
+    """
+
+    name = "unchecked"
+
+    def execute(self, store, transaction, constraints, report, signature):
+        state = store.snapshot()
+        new_state = transaction.apply(state)
+        store.begin()
+        store.apply_database(new_state)
+        store.commit_unchecked()
+        violated = any(not c.holds(new_state, signature) for c in constraints)
+        if violated:
+            report.violations_missed += 1
+        report.committed += 1
+        return True
+
+
+class RuntimeCheckPolicy(MaintenancePolicy):
+    """Execute, check all constraints on the post-state, roll back on violation."""
+
+    name = "runtime-check"
+
+    def execute(self, store, transaction, constraints, report, signature):
+        state = store.snapshot()
+        new_state = transaction.apply(state)
+        store.begin()
+        store.apply_database(new_state)
+        tentative = store.snapshot()
+        for constraint in constraints:
+            report.constraint_evaluations += 1
+            if not constraint.holds(tentative, signature):
+                store.rollback()
+                report.rolled_back += 1
+                return False
+        store.commit_unchecked()
+        report.committed += 1
+        return True
+
+
+class StaticPreconditionPolicy(MaintenancePolicy):
+    """Evaluate weakest preconditions on the current state; never roll back.
+
+    Every constraint must supply a precondition for the transaction being run
+    (otherwise the policy falls back to a run-time check for that constraint,
+    recorded separately so the benchmark stays honest).
+    """
+
+    name = "static-precondition"
+
+    def execute(self, store, transaction, constraints, report, signature):
+        state = store.snapshot()
+        runtime_fallback: List[Constraint] = []
+        for constraint in constraints:
+            precondition = constraint.precondition_for(transaction)
+            if precondition is None:
+                runtime_fallback.append(constraint)
+                continue
+            report.precondition_evaluations += 1
+            ok = (
+                evaluate(precondition, state, signature=signature)
+                if isinstance(precondition, Formula)
+                else precondition.holds(state)
+            )
+            if not ok:
+                report.rejected_statically += 1
+                return False
+        new_state = transaction.apply(state)
+        store.begin()
+        store.apply_database(new_state)
+        tentative = store.snapshot()
+        for constraint in runtime_fallback:
+            report.constraint_evaluations += 1
+            if not constraint.holds(tentative, signature):
+                store.rollback()
+                report.rolled_back += 1
+                return False
+        store.commit_unchecked()
+        report.committed += 1
+        return True
+
+
+class IntegrityMaintainer:
+    """Run a stream of transactions against a store under a maintenance policy."""
+
+    def __init__(
+        self,
+        store: Store,
+        constraints: Sequence[Constraint],
+        policy: MaintenancePolicy,
+        signature: Signature = EMPTY_SIGNATURE,
+    ):
+        self.store = store
+        self.constraints = list(constraints)
+        self.policy = policy
+        self.signature = signature
+
+    def run(self, transactions: Iterable[Transaction]) -> MaintenanceReport:
+        """Execute the workload; returns the collected statistics."""
+        report = MaintenanceReport(policy=self.policy.name)
+        started = time.perf_counter()
+        for transaction in transactions:
+            report.attempted += 1
+            self.policy.execute(
+                self.store, transaction, self.constraints, report, self.signature
+            )
+        report.wall_time = time.perf_counter() - started
+        return report
+
+    def invariant_holds(self) -> bool:
+        """Do all constraints hold on the current store state?"""
+        state = self.store.snapshot()
+        return all(c.holds(state, self.signature) for c in self.constraints)

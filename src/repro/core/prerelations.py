@@ -1,0 +1,234 @@
+"""Prerelations: local (tuple-level) static verification.
+
+A transaction ``T`` *admits prerelations over* ``L`` (Section 2 of the paper)
+if there is a finite set of terms ``Gamma`` and, for every relation ``R_i`` of
+the schema, an ``L``-formula ``pre_i`` with ``n_i`` free variables such that
+for every database ``D`` and every tuple ``d``:
+
+    ``D |= pre_i(d)`` and ``d in Gamma(D)^{n_i}``   iff   ``T(D) |= R_i(d)``.
+
+``Gamma(D)`` is the set of values ``tau(y1, ..., yk)`` for ``tau in Gamma``
+and ``y_j in dom(D)`` — a finite superset of the active domain of ``T(D)``
+that accounts for domain-extending updates (insertions of new constants,
+interpreted-function images, ...).
+
+The class of all such transactions is ``PR(L)``.  Proposition 3 observes that
+``PR(FOc(Omega))`` *is itself a transaction language*: a program is just the
+tuple ``(Gamma, pre_1, ..., pre_k)`` and its semantics is read off the
+definition.  :class:`PrerelationTransaction` is that language's interpreter,
+and Theorem 8 (implemented in :mod:`repro.core.wpc`) shows it is the maximal
+robustly verifiable language over ``FOc(Omega)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+from ..db.database import Database
+from ..db.schema import GRAPH_SCHEMA, Schema
+from ..logic.evaluation import Model
+from ..logic.rewrite import AtomDefinition
+from ..logic.signature import EMPTY_SIGNATURE, Signature
+from ..logic.syntax import Atom, Formula, FormulaError
+from ..logic.terms import Const, Func, Term, Var, evaluate_term
+from ..transactions.base import Transaction, TransactionError
+from ..transactions.fo_transactions import CompiledProgram, FOProgram
+
+__all__ = ["PrerelationSpec", "PrerelationTransaction", "gamma_closure"]
+
+
+def gamma_closure(
+    gamma: Sequence[Term],
+    db: Database,
+    signature: Signature = EMPTY_SIGNATURE,
+) -> FrozenSet[object]:
+    """``Gamma(D)``: all values of Gamma-terms under assignments into ``dom(D)``.
+
+    Constants (nullary terms) contribute their value even on the empty
+    database; terms with variables contribute one value per assignment of
+    their variables to active-domain elements.
+    """
+    domain = sorted(db.active_domain, key=repr)
+    values: Set[object] = set()
+    functions = signature.functions_mapping()
+    for term in gamma:
+        variables = sorted(term.free_variables())
+        if not variables:
+            values.add(evaluate_term(term, {}, functions))
+            continue
+        for assignment_values in itertools.product(domain, repeat=len(variables)):
+            assignment = dict(zip(variables, assignment_values))
+            values.add(evaluate_term(term, assignment, functions))
+    return frozenset(values)
+
+
+@dataclass(frozen=True)
+class PrerelationSpec:
+    """A prerelation specification ``(Gamma, pre_1, ..., pre_k)``.
+
+    ``definitions`` maps each relation name of ``schema`` to an
+    :class:`~repro.logic.rewrite.AtomDefinition` whose body is the formula
+    ``pre_i``; every relation of the schema must be covered (a relation that
+    the transaction leaves unchanged is specified by the identity definition
+    ``R(x1, ..., xn)``).
+    """
+
+    schema: Schema
+    gamma: Tuple[Term, ...]
+    definitions: Mapping[str, AtomDefinition]
+    signature: Signature = EMPTY_SIGNATURE
+    name: str = "prerelation"
+
+    def __post_init__(self) -> None:
+        if not self.gamma:
+            raise FormulaError("Gamma must contain at least one term")
+        missing = set(self.schema.relation_names) - set(self.definitions)
+        if missing:
+            raise FormulaError(
+                f"prerelation specification misses relations {sorted(missing)}"
+            )
+        for rel in self.schema:
+            definition = self.definitions[rel.name]
+            if definition.arity != rel.arity:
+                raise FormulaError(
+                    f"definition for {rel.name!r} has arity {definition.arity}, "
+                    f"schema expects {rel.arity}"
+                )
+        uninterpreted = set()
+        for definition in self.definitions.values():
+            uninterpreted |= definition.body.interpreted_symbols()
+        for term in self.gamma:
+            uninterpreted |= term.function_symbols()
+        missing_symbols = {
+            s for s in uninterpreted if not self.signature.has_symbol(s)
+        }
+        if missing_symbols:
+            raise FormulaError(
+                f"prerelation uses interpreted symbols {sorted(missing_symbols)} "
+                "not present in its signature"
+            )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def identity(cls, schema: Schema = GRAPH_SCHEMA) -> "PrerelationSpec":
+        """The identity transaction as a prerelation specification."""
+        definitions = {}
+        for rel in schema:
+            variables = [f"x{i + 1}" for i in range(rel.arity)]
+            definitions[rel.name] = AtomDefinition(
+                variables, Atom(rel.name, *[Var(v) for v in variables])
+            )
+        return cls(schema, (Var("u"),), definitions, name="identity")
+
+    @classmethod
+    def for_graph(
+        cls,
+        edge_formula: Formula,
+        variables: Sequence[str] = ("x", "y"),
+        gamma: Sequence[Term] = (Var("u"),),
+        signature: Signature = EMPTY_SIGNATURE,
+        name: str = "graph-prerelation",
+    ) -> "PrerelationSpec":
+        """A prerelation over the graph schema from a single edge-defining formula."""
+        return cls(
+            GRAPH_SCHEMA,
+            tuple(gamma),
+            {"E": AtomDefinition(variables, edge_formula)},
+            signature=signature,
+            name=name,
+        )
+
+    @classmethod
+    def from_compiled_program(
+        cls, compiled: CompiledProgram, name: str = "compiled-program"
+    ) -> "PrerelationSpec":
+        """Wrap the output of :meth:`repro.transactions.fo_transactions.FOProgram.compile`."""
+        return cls(
+            compiled.schema,
+            tuple(compiled.gamma),
+            dict(compiled.definitions),
+            signature=compiled.signature,
+            name=name,
+        )
+
+    @classmethod
+    def from_fo_program(cls, program: FOProgram) -> "PrerelationSpec":
+        """Compile a Qian-style FO program and wrap the result."""
+        return cls.from_compiled_program(program.compile(), name=program.name)
+
+    # -- semantics ----------------------------------------------------------------
+
+    def gamma_set(self, db: Database) -> FrozenSet[object]:
+        """``Gamma(D)`` for this specification."""
+        return gamma_closure(self.gamma, db, self.signature)
+
+    def as_transaction(self) -> "PrerelationTransaction":
+        return PrerelationTransaction(self)
+
+    def pre_formula(self, relation: str) -> AtomDefinition:
+        """The defining formula ``pre_R`` of a relation."""
+        try:
+            return self.definitions[relation]
+        except KeyError as exc:
+            raise FormulaError(f"no prerelation for {relation!r}") from exc
+
+    def tuple_will_be_in(
+        self, db: Database, relation: str, row: Sequence[object]
+    ) -> bool:
+        """Local verification: will ``row`` belong to ``relation`` after the transaction?
+
+        This is the whole point of prerelations — membership in the post-state
+        is decided *before* the transaction is committed, by one formula
+        evaluation on the current state.
+        """
+        definition = self.pre_formula(relation)
+        row = tuple(row)
+        if len(row) != definition.arity:
+            raise FormulaError(
+                f"tuple {row!r} has arity {len(row)}, {relation!r} expects {definition.arity}"
+            )
+        gamma_values = self.gamma_set(db)
+        if not all(value in gamma_values for value in row):
+            return False
+        model = Model(db, self.signature)
+        assignment = dict(zip(definition.variables, row))
+        return model.check(definition.body, assignment)
+
+    def max_quantifier_rank(self) -> int:
+        """The largest quantifier rank among the defining formulas."""
+        return max(
+            definition.body.quantifier_rank() for definition in self.definitions.values()
+        )
+
+
+class PrerelationTransaction(Transaction):
+    """The transaction generated by a prerelation specification (Proposition 3).
+
+    ``apply`` materialises, for every relation, the set of tuples over
+    ``Gamma(D)`` whose prerelation formula holds in the input database.
+    """
+
+    def __init__(self, spec: PrerelationSpec):
+        self.spec = spec
+        self.name = spec.name
+
+    def apply(self, db: Database) -> Database:
+        if db.schema != self.spec.schema:
+            raise TransactionError(
+                f"prerelation {self.name!r} expects schema {self.spec.schema!r}"
+            )
+        gamma_values = sorted(self.spec.gamma_set(db), key=repr)
+        model = Model(db, self.spec.signature)
+        new_relations: Dict[str, Set[Tuple[object, ...]]] = {}
+        for rel in self.spec.schema:
+            definition = self.spec.definitions[rel.name]
+            rows: Set[Tuple[object, ...]] = set()
+            for candidate in itertools.product(gamma_values, repeat=rel.arity):
+                assignment = dict(zip(definition.variables, candidate))
+                if model.check(definition.body, assignment):
+                    rows.add(tuple(candidate))
+            new_relations[rel.name] = rows
+        return Database(self.spec.schema, new_relations)

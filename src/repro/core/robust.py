@@ -1,0 +1,243 @@
+"""Robust verifiability (Section 5) and the role of constants.
+
+A transaction is *robustly verifiable* over ``FOc(Omega)`` if it remains
+verifiable over ``FOc(Omega')`` for every extension ``Omega'`` of the
+signature by recursive functions and predicates.  Theorem E / Theorem 8 shows
+that the robustly verifiable transactions are exactly those admitting
+prerelations, i.e. the Qian-style first-order transactions; nothing more
+expressive survives arbitrary signature extensions.
+
+This module provides the executable side of that story:
+
+* :func:`robustness_check` — take a prerelation transaction, a bank of
+  constraints and a collection of signature extensions, compute the weakest
+  precondition *once per constraint with the same algorithm* and verify it
+  against every extension on sample databases (the positive half of
+  Theorem 8);
+* :func:`proposition5_constraint` and :func:`chain_test_reduction` — the
+  construction of Proposition 5 showing the Theorem 7 transaction is *not*
+  in ``WPC(FOc)``: with a constant ``c`` available, a precondition for
+  ``alpha_c`` would let FOc define "the graph is a chain" relative to graphs
+  containing ``c``, which is impossible; the experiment exhibits the failure
+  by showing that no small candidate precondition works on a finite family
+  (and that the putative definability collapses chains and chain+cycle
+  graphs);
+* :func:`generic_prerelation_from_wpc` — the constructive content of
+  Proposition 4: for a *generic* transaction with weakest preconditions over
+  ``FOc``, a prerelation formula is obtained from ``wpc(T, E(c, d))`` by
+  replacing the constants with variables and erasing residual constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..logic.builder import E, exists, forall
+from ..logic.evaluation import Model, evaluate
+from ..logic.rewrite import AtomDefinition
+from ..logic.signature import EMPTY_SIGNATURE, Signature
+from ..logic.syntax import (
+    Atom,
+    BOTTOM,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    make_and,
+    make_or,
+)
+from ..logic.terms import Const, Term, Var
+from ..transactions.base import Transaction
+from .prerelations import PrerelationSpec
+from .wpc import WpcCalculator, find_wpc_counterexample
+
+__all__ = [
+    "RobustnessResult",
+    "robustness_check",
+    "proposition5_constraint",
+    "chain_test_reduction",
+    "generic_prerelation_from_wpc",
+    "erase_constants",
+]
+
+
+class RobustnessResult:
+    """Outcome of a robustness check: per-extension, per-constraint verdicts."""
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[str, str, bool, Optional[Database]]] = []
+
+    def record(
+        self,
+        extension_name: str,
+        constraint_label: str,
+        correct: bool,
+        counterexample: Optional[Database],
+    ) -> None:
+        self.entries.append((extension_name, constraint_label, correct, counterexample))
+
+    @property
+    def all_correct(self) -> bool:
+        return all(correct for _, _, correct, _ in self.entries)
+
+    def failures(self) -> List[Tuple[str, str, Optional[Database]]]:
+        return [
+            (extension, label, witness)
+            for extension, label, correct, witness in self.entries
+            if not correct
+        ]
+
+    def __repr__(self) -> str:
+        status = "ok" if self.all_correct else f"{len(self.failures())} failures"
+        return f"RobustnessResult({len(self.entries)} checks, {status})"
+
+
+def robustness_check(
+    spec: PrerelationSpec,
+    constraints: Sequence[Tuple[str, Formula]],
+    extensions: Sequence[Signature],
+    databases: Sequence[Database],
+) -> RobustnessResult:
+    """Verify the prerelation WPC algorithm under every given signature extension.
+
+    For each extension ``Omega'`` (which must extend the specification's own
+    signature) and each labelled constraint, the weakest precondition is
+    computed by the Theorem 8 algorithm and validated exhaustively against the
+    sample databases under ``Omega'``.
+    """
+    result = RobustnessResult()
+    transaction = spec.as_transaction()
+    calculator = WpcCalculator(spec)
+    for extension in extensions:
+        if not extension.is_extension_of(spec.signature):
+            raise ValueError(
+                f"signature {extension.name!r} does not extend {spec.signature.name!r}"
+            )
+        for label, constraint in constraints:
+            precondition = calculator.wpc(constraint)
+            witness = find_wpc_counterexample(
+                transaction, constraint, precondition, databases, signature=extension
+            )
+            result.record(extension.name, label, witness is None, witness)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Proposition 5: constants break the chain transaction's verifiability
+# ---------------------------------------------------------------------------
+
+def proposition5_constraint(constant: object) -> Formula:
+    """The FOc sentence ``alpha`` of Proposition 5.
+
+    ``alpha`` says: the graph has an edge that is not a loop, and the constant
+    ``c`` is not a node of the graph.  A weakest precondition ``beta`` of
+    ``alpha`` for the Theorem 7 transaction would make
+    ``beta & (exists x . E(x, c) | E(c, x))`` define, among C&C graphs
+    containing ``c``, exactly those that are *not* chains — giving an FOc
+    definition of chain-ness, which does not exist.
+    """
+    c = Const(constant)
+    has_nonloop = exists(["x", "y"], make_and(E("x", "y"), Not(Eq(Var("x"), Var("y")))))
+    c_not_active = forall("x", make_and(Not(E("x", c)), Not(E(c, "x"))))
+    return make_and(has_nonloop, c_not_active)
+
+
+def chain_test_reduction(
+    candidate_precondition: Formula,
+    constant: object,
+    graphs: Iterable[Database],
+    transaction: Transaction,
+) -> Optional[Database]:
+    """Check a candidate FOc precondition for Proposition 5's constraint.
+
+    Returns a graph from ``graphs`` on which the candidate disagrees with the
+    semantic precondition ``T(G) |= alpha_c`` — every syntactic candidate must
+    have such a counterexample once the family is rich enough, because a
+    correct precondition cannot exist (Proposition 5).  ``None`` means the
+    candidate survives this family (it will fall to a larger one).
+    """
+    alpha = proposition5_constraint(constant)
+    return find_wpc_counterexample(transaction, alpha, candidate_precondition, graphs)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 4: generic transactions in WPC(FOc) admit prerelations
+# ---------------------------------------------------------------------------
+
+def erase_constants(formula: Formula, constants: Iterable[object]) -> Formula:
+    """Replace every atomic subformula mentioning one of ``constants`` by ``false``.
+
+    This is the last step of the Proposition 4 construction: after the
+    distinguished constants ``c, d`` have been replaced by variables, any
+    *other* constants left in the precondition are irrelevant for graphs whose
+    node set avoids them, and erasing them yields a pure FO formula.
+    """
+    doomed = set(constants)
+
+    def mentions_doomed(node: Formula) -> bool:
+        return any(value in doomed for value in node.constants())
+
+    if isinstance(formula, (Atom, Eq)) and mentions_doomed(formula):
+        return BOTTOM
+    return formula.map_children(lambda child: erase_constants(child, doomed))
+
+
+def generic_prerelation_from_wpc(
+    wpc_of_edge_atom: Callable[[object, object], Formula],
+    witness_constants: Tuple[object, object] = ("c*", "d*"),
+) -> AtomDefinition:
+    """Proposition 4's construction of a prerelation for a generic transaction.
+
+    ``wpc_of_edge_atom(c, d)`` must return a weakest precondition (an FOc
+    sentence) of the constraint ``E(c, d)`` for the transaction in question;
+    Proposition 4 shows that for a *generic* transaction the formula obtained
+    by replacing ``c`` and ``d`` with fresh variables ``x`` and ``y`` (using
+    the diagonal trick for ``x = y``) and erasing all remaining constants is a
+    prerelation formula ``beta(x, y)`` for the transaction.
+    """
+    c, d = witness_constants
+    psi = wpc_of_edge_atom(c, d)          # wpc(T, E(c, d)) with c != d
+    phi = wpc_of_edge_atom(c, c)          # wpc(T, E(c, c))
+    psi_xy = _replace_constant(_replace_constant(psi, c, Var("x")), d, Var("y"))
+    phi_x = _replace_constant(phi, c, Var("x"))
+    gamma = make_or(
+        make_and(Eq(Var("x"), Var("y")), phi_x),
+        make_and(Not(Eq(Var("x"), Var("y"))), psi_xy),
+    )
+    remaining = gamma.constants()
+    beta = erase_constants(gamma, remaining)
+    return AtomDefinition(("x", "y"), beta)
+
+
+def _replace_constant(formula: Formula, constant: object, replacement: Term) -> Formula:
+    """Replace every occurrence of the constant term ``constant`` by ``replacement``."""
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.relation,
+            *[_replace_in_term(t, constant, replacement) for t in formula.terms],
+        )
+    if isinstance(formula, Eq):
+        return Eq(
+            _replace_in_term(formula.left, constant, replacement),
+            _replace_in_term(formula.right, constant, replacement),
+        )
+    return formula.map_children(
+        lambda child: _replace_constant(child, constant, replacement)
+    )
+
+
+def _replace_in_term(term: Term, constant: object, replacement: Term) -> Term:
+    from ..logic.terms import Func
+
+    if isinstance(term, Const) and term.value == constant:
+        return replacement
+    if isinstance(term, Func):
+        return Func(
+            term.symbol,
+            *[_replace_in_term(arg, constant, replacement) for arg in term.args],
+        )
+    return term

@@ -1,0 +1,209 @@
+"""Transaction safety: the ``Preserve`` problem and bounded decision procedures.
+
+``Preserve(TL, L)``: given a transaction ``T`` and a constraint ``alpha``,
+does ``D |= alpha`` imply ``T(D) |= alpha`` for *every* database ``D``?
+
+Fact A / Proposition 1: the problem is undecidable already for
+select-project-join transactions and first-order constraints, by reduction
+from finite validity of first-order sentences on graphs (Trakhtenbrot).  A
+reproduction obviously cannot implement an exact decision procedure; what it
+can (and does) provide is
+
+* :func:`preserves_on` / :func:`find_preservation_counterexample` — exact
+  checking over an explicitly given finite family of databases,
+* :func:`preserves_bounded` — exhaustive checking over *all* graphs up to a
+  node bound (optionally up to isomorphism), the bounded analogue of
+  ``Preserve``,
+* :func:`preserves_randomized` — Monte-Carlo checking on random graphs, the
+  cheap screen used before the exhaustive pass,
+* :class:`PreservationReduction` — the Proposition 1 reduction itself: it maps
+  an arbitrary FO sentence ``beta`` to the two ``Preserve`` instances
+  ``(T1, ¬beta ∧ ¬gamma)`` and ``(T2, ¬beta ∧ gamma)`` whose joint answer
+  equals finite validity of ``beta``; experiment E14 checks the equivalence on
+  bounded domains, which is the executable content of the undecidability proof.
+
+The module also provides :func:`make_safe` — the guarded-transaction
+transformation ``if wpc(T, alpha) then T else abort`` that converts any
+verifiable transaction into one that provably preserves the constraint.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..db.database import Database
+from ..db.graph import all_graphs, all_graphs_up_to_iso, random_graph
+from ..logic.builder import exists, has_some_edge
+from ..logic.evaluation import evaluate
+from ..logic.signature import EMPTY_SIGNATURE, Signature
+from ..logic.syntax import Atom, Exists, Formula, Not, make_and, make_or
+from ..transactions.base import GuardedTransaction, Transaction
+from ..transactions.relational_algebra import (
+    complete_graph_transaction,
+    diagonal_transaction,
+)
+
+__all__ = [
+    "holds",
+    "preserves_on",
+    "find_preservation_counterexample",
+    "preserves_bounded",
+    "preserves_randomized",
+    "PreservationReduction",
+    "make_safe",
+]
+
+
+def holds(constraint, db: Database, signature: Signature = EMPTY_SIGNATURE) -> bool:
+    """``D |= constraint`` for a syntactic formula or a semantic sentence."""
+    if isinstance(constraint, Formula):
+        return evaluate(constraint, db, signature=signature)
+    return constraint.holds(db)
+
+
+def preserves_on(
+    transaction: Transaction,
+    constraint,
+    databases: Iterable[Database],
+    signature: Signature = EMPTY_SIGNATURE,
+) -> bool:
+    """Does the transaction preserve the constraint on every listed database?"""
+    return (
+        find_preservation_counterexample(transaction, constraint, databases, signature)
+        is None
+    )
+
+
+def find_preservation_counterexample(
+    transaction: Transaction,
+    constraint,
+    databases: Iterable[Database],
+    signature: Signature = EMPTY_SIGNATURE,
+) -> Optional[Database]:
+    """The first database satisfying the constraint whose image violates it."""
+    for db in databases:
+        if holds(constraint, db, signature) and not holds(
+            constraint, transaction.apply(db), signature
+        ):
+            return db
+    return None
+
+
+def preserves_bounded(
+    transaction: Transaction,
+    constraint,
+    max_nodes: int,
+    up_to_isomorphism: bool = False,
+    loops: bool = True,
+    signature: Signature = EMPTY_SIGNATURE,
+) -> Tuple[bool, Optional[Database]]:
+    """Exhaustive bounded ``Preserve``: check all graphs with at most ``max_nodes`` nodes.
+
+    Returns ``(preserved, counterexample)``.  With ``up_to_isomorphism`` the
+    check is restricted to one representative per isomorphism class, which is
+    sound for generic transactions and isomorphism-invariant constraints.
+    """
+    if up_to_isomorphism:
+        family: Iterable[Database] = all_graphs_up_to_iso(max_nodes, loops=loops)
+    else:
+        family = all_graphs(max_nodes, loops=loops)
+    counterexample = find_preservation_counterexample(
+        transaction, constraint, family, signature
+    )
+    return counterexample is None, counterexample
+
+
+def preserves_randomized(
+    transaction: Transaction,
+    constraint,
+    samples: int = 200,
+    max_nodes: int = 8,
+    edge_probability: float = 0.3,
+    seed: int = 0,
+    signature: Signature = EMPTY_SIGNATURE,
+) -> Tuple[bool, Optional[Database]]:
+    """Monte-Carlo ``Preserve``: random graphs of varying size and density."""
+    rng = random.Random(seed)
+    for sample in range(samples):
+        nodes = rng.randint(0, max_nodes)
+        probability = rng.random() * edge_probability
+        graph = random_graph(nodes, probability, seed=rng.randint(0, 10 ** 9))
+        if holds(constraint, graph, signature) and not holds(
+            constraint, transaction.apply(graph), signature
+        ):
+            return False, graph
+    return True, None
+
+
+@dataclass
+class PreservationReduction:
+    """Proposition 1's reduction from finite validity to ``Preserve``.
+
+    For an arbitrary FO sentence ``beta`` over graphs, let
+    ``gamma = exists x . E(x, x)``.  Then (restricting attention to non-empty
+    graphs):
+
+    * ``beta | gamma``  is finitely valid  iff  ``T1`` preserves ``¬beta & ¬gamma``,
+    * ``beta | ¬gamma`` is finitely valid  iff  ``T2`` preserves ``¬beta & gamma``,
+
+    where ``T1`` produces the diagonal and ``T2`` the complete loop-free graph
+    — because the constraint is unsatisfiable on every (non-empty) output of
+    the respective transaction, preservation degenerates to the validity of
+    the constraint's negation.  ``beta`` is finitely valid iff both reductions
+    answer "preserved".  A decision procedure for ``Preserve`` would therefore
+    decide finite validity, which is impossible (Trakhtenbrot); the bounded
+    procedures below let experiment E14 check the equivalence mechanically on
+    small domains.
+    """
+
+    beta: Formula
+
+    def __post_init__(self) -> None:
+        if not self.beta.is_sentence():
+            raise ValueError("the reduction needs a sentence")
+        self.gamma = exists("x", Atom("E", "x", "x"))
+        self.t1 = diagonal_transaction()
+        self.t2 = complete_graph_transaction()
+        self.constraint_1 = make_and(Not(self.beta), Not(self.gamma))
+        self.constraint_2 = make_and(Not(self.beta), self.gamma)
+
+    def instances(self) -> List[Tuple[Transaction, Formula]]:
+        """The two ``Preserve`` instances of the reduction."""
+        return [(self.t1, self.constraint_1), (self.t2, self.constraint_2)]
+
+    def beta_valid_on(self, databases: Sequence[Database]) -> bool:
+        """Is ``beta`` valid on every non-empty database of the family?"""
+        return all(
+            evaluate(self.beta, db) for db in databases if not db.is_empty()
+        )
+
+    def preserve_answers_on(self, databases: Sequence[Database]) -> Tuple[bool, bool]:
+        """The bounded answers to the two ``Preserve`` instances."""
+        non_empty = [db for db in databases if not db.is_empty()]
+        return (
+            preserves_on(self.t1, self.constraint_1, non_empty),
+            preserves_on(self.t2, self.constraint_2, non_empty),
+        )
+
+    def reduction_agrees_on(self, databases: Sequence[Database]) -> bool:
+        """Does bounded validity of ``beta`` coincide with the conjunction of the
+        two bounded ``Preserve`` answers on the same family?"""
+        first, second = self.preserve_answers_on(databases)
+        return self.beta_valid_on(databases) == (first and second)
+
+
+def make_safe(
+    transaction: Transaction,
+    precondition,
+    on_abort: str = "identity",
+) -> GuardedTransaction:
+    """The safe transaction ``if precondition then T else abort``.
+
+    When ``precondition`` is a weakest precondition of a constraint ``alpha``
+    with respect to ``transaction``, the result preserves ``alpha`` on every
+    database (it runs exactly when the post-state would satisfy ``alpha``) —
+    the paper's fundamental integrity-maintenance recipe.
+    """
+    return GuardedTransaction(transaction, precondition, on_abort=on_abort)

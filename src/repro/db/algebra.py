@@ -1,0 +1,342 @@
+"""A small relational algebra engine.
+
+Proposition 1 of the paper phrases its undecidability reduction in terms of
+select-project-join (SPJ) expressions of the relational algebra, e.g.
+
+* ``T1(E) = pi_{1,3}(sigma_{1=3}(E x E))`` — the diagonal of the node set,
+* ``T2(E) = pi_{1,3}(sigma_{1!=3}(E x E))`` — the complete loop-free graph.
+
+This module implements a classical unnamed (positional) relational algebra:
+relation references, constant relations, selection by positional predicates
+(equality / inequality between columns or with constants), projection,
+cartesian product, union, difference, intersection, and renaming of the
+result arity (a no-op in the unnamed perspective, kept for documentation).
+
+Expressions are immutable ASTs evaluated against a
+:class:`~repro.db.database.Database`.  They are deliberately independent of
+the logic package: the paper treats the relational algebra as a *transaction*
+language, and `repro.transactions.relational_algebra` wraps these expressions
+as transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from .database import Database, DatabaseError
+
+__all__ = [
+    "AlgebraError",
+    "Expression",
+    "Relation",
+    "ConstantRelation",
+    "Selection",
+    "Projection",
+    "Product",
+    "UnionExpr",
+    "DifferenceExpr",
+    "IntersectionExpr",
+    "Condition",
+    "ColumnEqualsColumn",
+    "ColumnNotEqualsColumn",
+    "ColumnEqualsConstant",
+    "And",
+    "Or",
+    "Not",
+    "evaluate",
+]
+
+Row = Tuple[object, ...]
+
+
+class AlgebraError(ValueError):
+    """Raised for malformed relational algebra expressions."""
+
+
+# ---------------------------------------------------------------------------
+# selection conditions (positional)
+# ---------------------------------------------------------------------------
+
+class Condition:
+    """Base class of positional selection conditions."""
+
+    def holds(self, row: Row) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def max_column(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnEqualsColumn(Condition):
+    """``sigma_{i = j}``: the values in columns ``i`` and ``j`` are equal."""
+
+    left: int
+    right: int
+
+    def holds(self, row: Row) -> bool:
+        return row[self.left] == row[self.right]
+
+    def max_column(self) -> int:
+        return max(self.left, self.right)
+
+
+@dataclass(frozen=True)
+class ColumnNotEqualsColumn(Condition):
+    """``sigma_{i != j}``: the values in columns ``i`` and ``j`` differ."""
+
+    left: int
+    right: int
+
+    def holds(self, row: Row) -> bool:
+        return row[self.left] != row[self.right]
+
+    def max_column(self) -> int:
+        return max(self.left, self.right)
+
+
+@dataclass(frozen=True)
+class ColumnEqualsConstant(Condition):
+    """``sigma_{i = c}``: the value in column ``i`` equals the constant ``c``."""
+
+    column: int
+    value: object
+
+    def holds(self, row: Row) -> bool:
+        return row[self.column] == self.value
+
+    def max_column(self) -> int:
+        return self.column
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of conditions."""
+
+    parts: Tuple[Condition, ...]
+
+    def __init__(self, *parts: Condition):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, row: Row) -> bool:
+        return all(part.holds(row) for part in self.parts)
+
+    def max_column(self) -> int:
+        return max((part.max_column() for part in self.parts), default=-1)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of conditions."""
+
+    parts: Tuple[Condition, ...]
+
+    def __init__(self, *parts: Condition):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, row: Row) -> bool:
+        return any(part.holds(row) for part in self.parts)
+
+    def max_column(self) -> int:
+        return max((part.max_column() for part in self.parts), default=-1)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation of a condition."""
+
+    inner: Condition
+
+    def holds(self, row: Row) -> bool:
+        return not self.inner.holds(row)
+
+    def max_column(self) -> int:
+        return self.inner.max_column()
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+class Expression:
+    """Base class of relational algebra expressions."""
+
+    def arity(self, db: Database) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:  # pragma: no cover
+        raise NotImplementedError
+
+    # convenience combinators -------------------------------------------------
+
+    def select(self, condition: Condition) -> "Selection":
+        return Selection(self, condition)
+
+    def project(self, *columns: int) -> "Projection":
+        return Projection(self, tuple(columns))
+
+    def product(self, other: "Expression") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "Expression") -> "UnionExpr":
+        return UnionExpr(self, other)
+
+    def difference(self, other: "Expression") -> "DifferenceExpr":
+        return DifferenceExpr(self, other)
+
+    def intersect(self, other: "Expression") -> "IntersectionExpr":
+        return IntersectionExpr(self, other)
+
+
+@dataclass(frozen=True)
+class Relation(Expression):
+    """A reference to a base relation of the database."""
+
+    name: str
+
+    def arity(self, db: Database) -> int:
+        return db.schema[self.name].arity
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        return db.relation(self.name)
+
+
+@dataclass(frozen=True)
+class ConstantRelation(Expression):
+    """A constant relation (a fixed finite set of tuples of uniform arity)."""
+
+    rows: FrozenSet[Row]
+    _arity: int
+
+    def __init__(self, rows: Iterable[Sequence[object]]):
+        materialised = frozenset(tuple(r) for r in rows)
+        arities = {len(r) for r in materialised}
+        if len(arities) > 1:
+            raise AlgebraError("constant relation has tuples of mixed arity")
+        object.__setattr__(self, "rows", materialised)
+        object.__setattr__(self, "_arity", arities.pop() if arities else 0)
+
+    def arity(self, db: Database) -> int:
+        return self._arity
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        return self.rows
+
+
+@dataclass(frozen=True)
+class Selection(Expression):
+    """``sigma_condition(child)``."""
+
+    child: Expression
+    condition: Condition
+
+    def arity(self, db: Database) -> int:
+        return self.child.arity(db)
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        rows = self.child.evaluate(db)
+        width = self.child.arity(db)
+        if self.condition.max_column() >= width:
+            raise AlgebraError(
+                f"selection refers to column {self.condition.max_column()} but the "
+                f"input has arity {width}"
+            )
+        return frozenset(row for row in rows if self.condition.holds(row))
+
+
+@dataclass(frozen=True)
+class Projection(Expression):
+    """``pi_columns(child)`` with 0-based column indices (duplicates allowed)."""
+
+    child: Expression
+    columns: Tuple[int, ...]
+
+    def arity(self, db: Database) -> int:
+        return len(self.columns)
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        width = self.child.arity(db)
+        if any(c < 0 or c >= width for c in self.columns):
+            raise AlgebraError(
+                f"projection columns {self.columns} out of range for arity {width}"
+            )
+        return frozenset(
+            tuple(row[c] for c in self.columns) for row in self.child.evaluate(db)
+        )
+
+
+@dataclass(frozen=True)
+class Product(Expression):
+    """Cartesian product of two expressions (columns concatenated)."""
+
+    left: Expression
+    right: Expression
+
+    def arity(self, db: Database) -> int:
+        return self.left.arity(db) + self.right.arity(db)
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        left_rows = self.left.evaluate(db)
+        right_rows = self.right.evaluate(db)
+        return frozenset(l + r for l in left_rows for r in right_rows)
+
+
+class _BinarySetExpression(Expression):
+    """Shared machinery for union / difference / intersection."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def arity(self, db: Database) -> int:
+        a, b = self.left.arity(db), self.right.arity(db)
+        if a != b:
+            raise AlgebraError(f"set operation on arities {a} and {b}")
+        return a
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.left == other.left  # type: ignore[attr-defined]
+            and self.right == other.right  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+
+class UnionExpr(_BinarySetExpression):
+    """Set union of two same-arity expressions."""
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        self.arity(db)
+        return self.left.evaluate(db) | self.right.evaluate(db)
+
+
+class DifferenceExpr(_BinarySetExpression):
+    """Set difference of two same-arity expressions."""
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        self.arity(db)
+        return self.left.evaluate(db) - self.right.evaluate(db)
+
+
+class IntersectionExpr(_BinarySetExpression):
+    """Set intersection of two same-arity expressions."""
+
+    def evaluate(self, db: Database) -> FrozenSet[Row]:
+        self.arity(db)
+        return self.left.evaluate(db) & self.right.evaluate(db)
+
+
+def evaluate(expression: Expression, db: Database) -> FrozenSet[Row]:
+    """Evaluate ``expression`` against ``db`` and return the result tuples."""
+    if not isinstance(expression, Expression):
+        raise AlgebraError(f"expected Expression, got {type(expression).__name__}")
+    return expression.evaluate(db)

@@ -1,0 +1,288 @@
+"""Finite relational databases.
+
+A :class:`Database` is a finite interpretation of a :class:`~repro.db.schema.Schema`:
+each relation symbol is mapped to a finite set of tuples over the universe.
+The universe itself is the countably infinite set of Python hashable values
+(in practice integers and strings); a database only ever stores finitely many
+of them.  The *active domain* ``dom(D)`` is the set of values that occur in
+some tuple of ``D`` — exactly the paper's notion.
+
+Databases are immutable value objects: all update operations return new
+databases.  This makes them safe to use as inputs to transactions (which are
+*functions* from databases to databases in the paper) and trivially supports
+the roll-back baseline in the integrity-maintenance benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .schema import GRAPH_SCHEMA, RelationSchema, Schema, SchemaError
+
+__all__ = ["Database", "DatabaseError"]
+
+Tuple_ = Tuple[object, ...]
+
+
+class DatabaseError(ValueError):
+    """Raised for malformed database contents or schema mismatches."""
+
+
+class Database:
+    """An immutable finite relational structure over a schema.
+
+    Parameters
+    ----------
+    schema:
+        The relational schema.
+    relations:
+        A mapping from relation name to an iterable of tuples.  Missing
+        relations are interpreted as empty.
+    """
+
+    __slots__ = ("_schema", "_relations", "_domain", "_hash")
+
+    def __init__(
+        self,
+        schema: Schema,
+        relations: Optional[Mapping[str, Iterable[Sequence[object]]]] = None,
+    ):
+        if not isinstance(schema, Schema):
+            raise DatabaseError(f"expected Schema, got {type(schema).__name__}")
+        self._schema = schema
+        rels: Dict[str, FrozenSet[Tuple_]] = {}
+        relations = relations or {}
+        unknown = set(relations) - set(schema.relation_names)
+        if unknown:
+            raise DatabaseError(
+                f"relations {sorted(unknown)} are not part of the schema"
+            )
+        for rel_schema in schema:
+            rows = relations.get(rel_schema.name, ())
+            validated = frozenset(rel_schema.validate_tuple(row) for row in rows)
+            rels[rel_schema.name] = validated
+        self._relations = rels
+        domain: Set[object] = set()
+        for rows in rels.values():
+            for row in rows:
+                domain.update(row)
+        self._domain = frozenset(domain)
+        self._hash: Optional[int] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema = GRAPH_SCHEMA) -> "Database":
+        """The empty database over ``schema``."""
+        return cls(schema, {})
+
+    @classmethod
+    def graph(cls, edges: Iterable[Sequence[object]]) -> "Database":
+        """Build a graph database (single binary predicate ``E``) from edges."""
+        return cls(GRAPH_SCHEMA, {"E": [tuple(e) for e in edges]})
+
+    # -- basic accessors ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def active_domain(self) -> FrozenSet[object]:
+        """``dom(D)``: all values occurring in some tuple of the database."""
+        return self._domain
+
+    def relation(self, name: str) -> FrozenSet[Tuple_]:
+        """The set of tuples currently in relation ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise DatabaseError(f"no relation named {name!r}") from exc
+
+    def __getitem__(self, name: str) -> FrozenSet[Tuple_]:
+        return self.relation(name)
+
+    def relations(self) -> Dict[str, FrozenSet[Tuple_]]:
+        """A copy of the relation-name -> tuple-set mapping."""
+        return dict(self._relations)
+
+    def contains(self, name: str, row: Sequence[object]) -> bool:
+        """Does relation ``name`` contain ``row``?"""
+        rel_schema = self._schema[name]
+        return rel_schema.validate_tuple(row) in self._relations[name]
+
+    def cardinality(self, name: Optional[str] = None) -> int:
+        """Number of tuples in relation ``name`` (or in the whole database)."""
+        if name is not None:
+            return len(self.relation(name))
+        return sum(len(rows) for rows in self._relations.values())
+
+    def is_empty(self) -> bool:
+        return all(not rows for rows in self._relations.values())
+
+    # -- graph view --------------------------------------------------------------
+
+    @property
+    def edges(self) -> FrozenSet[Tuple[object, object]]:
+        """Edge set for graph databases (relation ``E``)."""
+        return self.relation("E")  # type: ignore[return-value]
+
+    @property
+    def nodes(self) -> FrozenSet[object]:
+        """Node set for graph databases: the active domain."""
+        return self._domain
+
+    def successors(self, node: object) -> FrozenSet[object]:
+        """Out-neighbours of ``node`` in a graph database."""
+        return frozenset(y for (x, y) in self.edges if x == node)
+
+    def predecessors(self, node: object) -> FrozenSet[object]:
+        """In-neighbours of ``node`` in a graph database."""
+        return frozenset(x for (x, y) in self.edges if y == node)
+
+    def out_degree(self, node: object) -> int:
+        return sum(1 for (x, _y) in self.edges if x == node)
+
+    def in_degree(self, node: object) -> int:
+        return sum(1 for (_x, y) in self.edges if y == node)
+
+    # -- functional updates --------------------------------------------------------
+
+    def with_relation(
+        self, name: str, rows: Iterable[Sequence[object]]
+    ) -> "Database":
+        """Return a copy of the database with relation ``name`` replaced by ``rows``."""
+        self._schema[name]  # validates existence
+        new_rels: Dict[str, Iterable[Sequence[object]]] = dict(self._relations)
+        new_rels[name] = list(rows)
+        return Database(self._schema, new_rels)
+
+    def insert(self, name: str, *rows: Sequence[object]) -> "Database":
+        """Return a copy with ``rows`` inserted into relation ``name``."""
+        rel_schema = self._schema[name]
+        added = {rel_schema.validate_tuple(row) for row in rows}
+        return self.with_relation(name, self._relations[name] | added)
+
+    def delete(self, name: str, *rows: Sequence[object]) -> "Database":
+        """Return a copy with ``rows`` removed from relation ``name``."""
+        rel_schema = self._schema[name]
+        removed = {rel_schema.validate_tuple(row) for row in rows}
+        return self.with_relation(name, self._relations[name] - removed)
+
+    def map_domain(self, mapping: Mapping[object, object]) -> "Database":
+        """Apply a renaming of domain elements to every tuple.
+
+        Elements not mentioned in ``mapping`` are left unchanged.  This is the
+        action of a (partial) permutation of the universe on the database and
+        is used to test *genericity* of transactions.
+        """
+        def rename(value: object) -> object:
+            return mapping.get(value, value)
+
+        new_rels = {
+            name: [tuple(rename(v) for v in row) for row in rows]
+            for name, rows in self._relations.items()
+        }
+        return Database(self._schema, new_rels)
+
+    def restrict_domain(self, keep: Iterable[object]) -> "Database":
+        """Keep only tuples all of whose components lie in ``keep``."""
+        keep_set = set(keep)
+        new_rels = {
+            name: [row for row in rows if all(v in keep_set for v in row)]
+            for name, rows in self._relations.items()
+        }
+        return Database(self._schema, new_rels)
+
+    def union(self, other: "Database") -> "Database":
+        """Relation-wise union of two databases over the same schema."""
+        self._check_same_schema(other)
+        new_rels = {
+            name: self._relations[name] | other._relations[name]
+            for name in self._schema.relation_names
+        }
+        return Database(self._schema, new_rels)
+
+    def difference(self, other: "Database") -> "Database":
+        """Relation-wise difference of two databases over the same schema."""
+        self._check_same_schema(other)
+        new_rels = {
+            name: self._relations[name] - other._relations[name]
+            for name in self._schema.relation_names
+        }
+        return Database(self._schema, new_rels)
+
+    def _check_same_schema(self, other: "Database") -> None:
+        if not isinstance(other, Database):
+            raise DatabaseError(f"expected Database, got {type(other).__name__}")
+        if other._schema != self._schema:
+            raise DatabaseError("databases have different schemas")
+
+    # -- isomorphism-invariant encodings ------------------------------------------
+
+    def canonical_key(self) -> Tuple:
+        """A hashable key identifying the database *up to equality* (not isomorphism)."""
+        return tuple(
+            (name, tuple(sorted(self._relations[name], key=repr)))
+            for name in self._schema.relation_names
+        )
+
+    def is_isomorphic(self, other: "Database") -> bool:
+        """Decide isomorphism by brute force over domain bijections.
+
+        Only intended for small databases (the diagonalisation construction
+        and the bounded decision procedures); the finite-model-theory toolkit
+        has a faster path for graphs.
+        """
+        self._check_same_schema(other)
+        dom_a = sorted(self._domain, key=repr)
+        dom_b = sorted(other._domain, key=repr)
+        if len(dom_a) != len(dom_b):
+            return False
+        for name in self._schema.relation_names:
+            if len(self._relations[name]) != len(other._relations[name]):
+                return False
+        for perm in itertools.permutations(dom_b):
+            mapping = dict(zip(dom_a, perm))
+            if self.map_domain(mapping) == other:
+                return True
+        return len(dom_a) == 0
+
+    # -- dunder ---------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._schema == other._schema and self._relations == other._relations
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._schema, self.canonical_key()))
+        return self._hash
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple_]]:
+        """Iterate over ``(relation_name, tuple)`` facts."""
+        for name in self._schema.relation_names:
+            for row in sorted(self._relations[name], key=repr):
+                yield name, row
+
+    def __len__(self) -> int:
+        return self.cardinality()
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in self._schema.relation_names:
+            rows = sorted(self._relations[name], key=repr)
+            parts.append(f"{name}={rows}")
+        return f"Database({', '.join(parts)})"

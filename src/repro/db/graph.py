@@ -1,0 +1,451 @@
+"""Graph databases and the graph families used throughout the paper.
+
+Most of the paper's constructions live over the schema with a single binary
+predicate ``E`` (finite directed graphs).  This module provides generators for
+every family the proofs rely on:
+
+* **chains** ``x1 -> x2 -> ... -> xn`` (Lemma 1, Theorem 7),
+* **simple cycles** (Lemma 1, Theorem 3's Ajtai–Fagin argument),
+* **chain-and-cycle (C&C) graphs**: one chain component plus zero or more
+  simple-cycle components (Lemma 1, Theorem 7),
+* the **G_{n,m}** trees of Theorem 2's Claim 3 / Theorem 3: a root with two
+  chain branches of ``n`` and ``m`` nodes respectively,
+* **linear orders** ``L_n`` (transitive closures of chains — the images of the
+  Theorem 7 transaction),
+* **diagonal graphs** (a loop on every node and nothing else),
+* **complete loop-free graphs** (Proposition 1's transaction ``T2``),
+* the cycle families ``C^1_n`` (one cycle of length 2n) and ``C^2_n`` (two
+  cycles of length n) from the monadic Σ¹₁ argument,
+* random graphs and exhaustive enumerations of all small graphs.
+
+All generators return immutable :class:`~repro.db.database.Database` objects
+over :data:`~repro.db.schema.GRAPH_SCHEMA` and accept an optional ``labels``
+sequence so graphs can be built over arbitrary universe elements (needed for
+genericity experiments).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .database import Database
+from .schema import GRAPH_SCHEMA
+
+__all__ = [
+    "graph_from_edges",
+    "chain",
+    "cycle",
+    "chain_and_cycles",
+    "two_branch_tree",
+    "linear_order",
+    "diagonal_graph",
+    "complete_graph",
+    "single_cycle_family",
+    "double_cycle_family",
+    "binary_tree",
+    "star",
+    "random_graph",
+    "all_graphs",
+    "all_graphs_up_to_iso",
+    "is_chain",
+    "is_simple_cycle",
+    "is_chain_and_cycle_graph",
+    "chain_component",
+    "connected_components",
+    "weakly_connected",
+    "transitive_closure",
+    "deterministic_transitive_closure",
+    "same_generation",
+]
+
+
+def _labels(n: int, labels: Optional[Sequence[object]], offset: int = 0) -> List[object]:
+    """Return ``n`` node labels, defaulting to ``offset .. offset+n-1``."""
+    if labels is None:
+        return list(range(offset, offset + n))
+    chosen = list(labels)
+    if len(chosen) < n:
+        raise ValueError(f"need at least {n} labels, got {len(chosen)}")
+    return chosen[:n]
+
+
+def graph_from_edges(edges: Iterable[Tuple[object, object]]) -> Database:
+    """Build a graph database from an edge iterable."""
+    return Database.graph(edges)
+
+
+# ---------------------------------------------------------------------------
+# basic families
+# ---------------------------------------------------------------------------
+
+def chain(n: int, labels: Optional[Sequence[object]] = None, offset: int = 0) -> Database:
+    """A chain on ``n`` nodes: ``x1 -> x2 -> ... -> xn`` (``n - 1`` edges).
+
+    ``chain(0)`` and ``chain(1)`` have no edges; for ``n = 1`` the single node
+    is not part of the active domain (a graph database only knows about nodes
+    that occur in edges), matching the paper's convention that the domain of a
+    database is its active domain.
+    """
+    if n < 0:
+        raise ValueError("chain length must be non-negative")
+    nodes = _labels(n, labels, offset)
+    return Database.graph((nodes[i], nodes[i + 1]) for i in range(n - 1))
+
+
+def cycle(n: int, labels: Optional[Sequence[object]] = None, offset: int = 0) -> Database:
+    """A simple cycle on ``n >= 1`` nodes (``n = 1`` gives a single loop)."""
+    if n <= 0:
+        raise ValueError("cycle length must be positive")
+    nodes = _labels(n, labels, offset)
+    edges = [(nodes[i], nodes[(i + 1) % n]) for i in range(n)]
+    return Database.graph(edges)
+
+
+def chain_and_cycles(
+    chain_len: int,
+    cycle_lengths: Sequence[int] = (),
+    labels: Optional[Sequence[object]] = None,
+) -> Database:
+    """A C&C graph: one chain component of ``chain_len`` nodes plus cycles.
+
+    The chain must have at least 2 nodes (a C&C graph has exactly one chain
+    component, and a 1-node "chain" has no edges so would not be visible).
+    """
+    if chain_len < 2:
+        raise ValueError("the chain component of a C&C graph needs >= 2 nodes")
+    total = chain_len + sum(cycle_lengths)
+    nodes = _labels(total, labels)
+    db = chain(chain_len, nodes[:chain_len])
+    offset = chain_len
+    for length in cycle_lengths:
+        if length < 1:
+            raise ValueError("cycle components must have length >= 1")
+        part = cycle(length, nodes[offset : offset + length])
+        db = db.union(part)
+        offset += length
+    return db
+
+
+def two_branch_tree(
+    n: int, m: int, labels: Optional[Sequence[object]] = None
+) -> Database:
+    """The graph ``G_{n,m}`` of the paper: a root with two chain branches.
+
+    The root has two children; the subtree rooted at one child is an ``n``-node
+    chain and the subtree at the other is an ``m``-node chain.  ``G_{n,n}`` and
+    ``G_{n-1,n+1}`` are the Hanf-equivalent pairs used in Claim 3 of Theorem 2
+    and in Theorem 3.
+    """
+    if n < 1 or m < 1:
+        raise ValueError("both branches must have at least one node")
+    nodes = _labels(1 + n + m, labels)
+    root = nodes[0]
+    left = nodes[1 : 1 + n]
+    right = nodes[1 + n : 1 + n + m]
+    edges = [(root, left[0]), (root, right[0])]
+    edges += [(left[i], left[i + 1]) for i in range(n - 1)]
+    edges += [(right[i], right[i + 1]) for i in range(m - 1)]
+    return Database.graph(edges)
+
+
+def linear_order(n: int, labels: Optional[Sequence[object]] = None) -> Database:
+    """``L_n``: the strict linear order on ``n`` nodes (transitive closure of a chain)."""
+    if n < 0:
+        raise ValueError("size must be non-negative")
+    nodes = _labels(n, labels)
+    return Database.graph(
+        (nodes[i], nodes[j]) for i in range(n) for j in range(i + 1, n)
+    )
+
+
+def diagonal_graph(nodes: Iterable[object]) -> Database:
+    """The diagonal on ``nodes``: a loop ``(x, x)`` on every node and nothing else."""
+    return Database.graph((x, x) for x in nodes)
+
+
+def complete_graph(nodes: Iterable[object]) -> Database:
+    """The complete loop-free graph on ``nodes`` (Proposition 1's ``T2`` image)."""
+    node_list = list(nodes)
+    return Database.graph(
+        (x, y) for x in node_list for y in node_list if x != y
+    )
+
+
+def single_cycle_family(n: int) -> Database:
+    """``C^1_n``: one directed cycle of length ``2n`` (Theorem 3, monadic Σ¹₁ case)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return cycle(2 * n)
+
+
+def double_cycle_family(n: int) -> Database:
+    """``C^2_n``: the disjoint union of two directed cycles of length ``n``."""
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    first = cycle(n, offset=0)
+    second = cycle(n, offset=n)
+    return first.union(second)
+
+
+def binary_tree(depth: int) -> Database:
+    """A complete binary tree of the given depth (edges point away from the root).
+
+    Used by the degree-count experiment (Corollary 2): first-order queries have
+    bounded degree counts on binary trees.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    edges = []
+    for i in range(1, 2 ** depth):
+        edges.append((i, 2 * i))
+        edges.append((i, 2 * i + 1))
+    return Database.graph(edges)
+
+
+def star(n: int, labels: Optional[Sequence[object]] = None) -> Database:
+    """A star: one centre with ``n`` out-edges to distinct leaves."""
+    if n < 1:
+        raise ValueError("a star needs at least one leaf")
+    nodes = _labels(n + 1, labels)
+    centre, leaves = nodes[0], nodes[1:]
+    return Database.graph((centre, leaf) for leaf in leaves)
+
+
+def random_graph(
+    n: int, p: float, seed: Optional[int] = None, loops: bool = False
+) -> Database:
+    """A directed Erdős–Rényi graph ``G(n, p)`` over nodes ``0..n-1``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("edge probability must be in [0, 1]")
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if (loops or i != j) and rng.random() < p
+    ]
+    return Database.graph(edges)
+
+
+# ---------------------------------------------------------------------------
+# exhaustive enumerations
+# ---------------------------------------------------------------------------
+
+def all_graphs(n: int, loops: bool = True) -> Iterator[Database]:
+    """Enumerate every directed graph whose nodes form a subset of ``0..n-1``.
+
+    The enumeration includes the empty graph and, because the active domain is
+    determined by the edges, graphs over every subset of the node set.  There
+    are ``2^(n^2)`` graphs for ``loops=True``; keep ``n`` small.
+    """
+    pairs = [
+        (i, j) for i in range(n) for j in range(n) if loops or i != j
+    ]
+    for bits in itertools.product((False, True), repeat=len(pairs)):
+        yield Database.graph(p for p, keep in zip(pairs, bits) if keep)
+
+
+def all_graphs_up_to_iso(n: int, loops: bool = True) -> List[Database]:
+    """All graphs on at most ``n`` nodes, one representative per isomorphism class.
+
+    Brute force (checks each candidate against the representatives found so
+    far); usable for ``n <= 4`` with loops and ``n <= 5`` without.
+    """
+    representatives: List[Database] = []
+    for g in all_graphs(n, loops=loops):
+        if not any(g.is_isomorphic(h) for h in representatives):
+            representatives.append(g)
+    return representatives
+
+
+# ---------------------------------------------------------------------------
+# structural predicates and graph algorithms
+# ---------------------------------------------------------------------------
+
+def _adjacency(db: Database) -> Tuple[dict, dict]:
+    succ: dict = {}
+    pred: dict = {}
+    for (x, y) in db.edges:
+        succ.setdefault(x, set()).add(y)
+        pred.setdefault(y, set()).add(x)
+        succ.setdefault(y, set())
+        pred.setdefault(x, set())
+    return succ, pred
+
+
+def is_chain(db: Database) -> bool:
+    """Is the graph a chain ``x1 -> ... -> xn`` with all ``x_i`` distinct (n >= 2)?"""
+    edges = db.edges
+    if not edges:
+        return False
+    succ, pred = _adjacency(db)
+    roots = [v for v in succ if not pred[v]]
+    ends = [v for v in succ if not succ[v]]
+    if len(roots) != 1 or len(ends) != 1:
+        return False
+    if any(len(s) > 1 for s in succ.values()):
+        return False
+    if any(len(p) > 1 for p in pred.values()):
+        return False
+    # walk from the root; we must visit every node without repetition
+    seen = set()
+    current = roots[0]
+    while True:
+        if current in seen:
+            return False
+        seen.add(current)
+        nxt = succ[current]
+        if not nxt:
+            break
+        current = next(iter(nxt))
+    return seen == set(db.nodes)
+
+
+def is_simple_cycle(db: Database) -> bool:
+    """Is the graph a single simple directed cycle?
+
+    Follows the paper's definition ``{(x1, x2), ..., (xn, x1)}`` with all
+    ``x_i`` distinct, which for ``n = 1`` is a single loop; loops therefore
+    count as (degenerate) simple cycles, exactly as Lemma 1's first-order
+    characterisation of C&C-graphs requires.
+    """
+    edges = db.edges
+    if not edges:
+        return False
+    succ, pred = _adjacency(db)
+    if any(len(s) != 1 for s in succ.values()):
+        return False
+    if any(len(p) != 1 for p in pred.values()):
+        return False
+    start = next(iter(succ))
+    seen = set()
+    current = start
+    while current not in seen:
+        seen.add(current)
+        current = next(iter(succ[current]))
+    return current == start and seen == set(db.nodes)
+
+
+def connected_components(db: Database) -> List[Set[object]]:
+    """Weakly connected components of the graph (as sets of nodes)."""
+    succ, pred = _adjacency(db)
+    nodes = set(succ)
+    components: List[Set[object]] = []
+    unvisited = set(nodes)
+    while unvisited:
+        start = next(iter(unvisited))
+        component = set()
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            if v in component:
+                continue
+            component.add(v)
+            stack.extend(succ[v] - component)
+            stack.extend(pred[v] - component)
+        components.append(component)
+        unvisited -= component
+    return components
+
+
+def weakly_connected(db: Database) -> bool:
+    """Is the graph (weakly) connected?  The empty graph counts as connected."""
+    return len(connected_components(db)) <= 1
+
+
+def is_chain_and_cycle_graph(db: Database) -> bool:
+    """Is the graph a C&C graph: exactly one chain component, all others simple cycles?"""
+    if not db.edges:
+        return False
+    chain_count = 0
+    for component in connected_components(db):
+        sub = db.restrict_domain(component)
+        if is_chain(sub):
+            chain_count += 1
+        elif is_simple_cycle(sub):
+            continue
+        else:
+            return False
+    return chain_count == 1
+
+
+def chain_component(db: Database) -> Database:
+    """Return the chain component of a C&C graph (``chain(G)`` in Theorem 7)."""
+    for component in connected_components(db):
+        sub = db.restrict_domain(component)
+        if is_chain(sub):
+            return sub
+    raise ValueError("graph has no chain component")
+
+
+def transitive_closure(db: Database) -> Database:
+    """``tc(G)``: the transitive closure of the edge relation (no reflexive closure).
+
+    Computed by a breadth-first reachability search from every node, which is
+    ``O(|V| * |E|)`` and comfortably handles the graph sizes used in the
+    benchmarks (hundreds of nodes).
+    """
+    succ, _pred = _adjacency(db)
+    closure: Set[Tuple[object, object]] = set()
+    for source in succ:
+        reached: Set[object] = set()
+        stack = list(succ[source])
+        while stack:
+            v = stack.pop()
+            if v in reached:
+                continue
+            reached.add(v)
+            stack.extend(succ[v] - reached)
+        closure.update((source, target) for target in reached)
+    return Database.graph(closure)
+
+
+def deterministic_transitive_closure(db: Database) -> Database:
+    """``dtc(G)``: (x, y) is an edge iff (x, y) in E, or there is a path
+    ``x = x1 -> ... -> xn = y`` where every ``x_i`` (i < n) has out-degree 1."""
+    succ, _pred = _adjacency(db)
+    out_deg = {v: len(s) for v, s in succ.items()}
+    edges: Set[Tuple[object, object]] = set(db.edges)
+    for x in succ:
+        if out_deg.get(x, 0) != 1:
+            continue
+        # follow the unique-out-degree path from x
+        path_node = x
+        visited = {x}
+        while out_deg.get(path_node, 0) == 1:
+            nxt = next(iter(succ[path_node]))
+            edges.add((x, nxt))
+            if nxt in visited:
+                break
+            visited.add(nxt)
+            path_node = nxt
+    return Database.graph(edges)
+
+
+def same_generation(db: Database) -> Database:
+    """``sg(G)``: (x, y) is an edge iff some node ``v`` has walks to ``x`` and ``y``
+    of equal length.
+
+    Computed by a fixpoint on pairs: ``sg`` contains all ``(x, x)`` reachable
+    from some node, and is closed under simultaneous edge steps
+    ``(u, v) in sg, (u, x) in E, (v, y) in E  =>  (x, y) in sg``.
+    The paper evaluates ``sg`` on trees where this definition coincides with
+    the usual same-generation query; self-pairs ``(x, x)`` are included (they
+    are what makes "isolated" nodes loops in the proofs of Claim 3).
+    """
+    succ, _pred = _adjacency(db)
+    nodes = set(succ)
+    pairs: Set[Tuple[object, object]] = {(v, v) for v in nodes}
+    frontier = set(pairs)
+    while frontier:
+        new_frontier: Set[Tuple[object, object]] = set()
+        for (u, v) in frontier:
+            for x in succ.get(u, ()):
+                for y in succ.get(v, ()):
+                    if (x, y) not in pairs:
+                        pairs.add((x, y))
+                        new_frontier.add((x, y))
+        frontier = new_frontier
+    return Database.graph(pairs)

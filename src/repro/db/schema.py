@@ -1,0 +1,190 @@
+"""Relational schemas.
+
+The paper fixes a countably infinite universe ``U`` and a relational schema
+``SC = (R1, ..., Rk)`` of predicates, each with a finite arity ``n_i > 0``.
+A database over ``SC`` interprets each ``R_i`` as a finite subset of ``U^n_i``.
+
+This module provides :class:`RelationSchema` (a single predicate symbol with
+its arity and optional attribute names) and :class:`Schema` (an ordered
+collection of relation schemas).  Most of the paper works over the schema
+consisting of a single binary predicate ``E`` (finite graphs); :data:`GRAPH_SCHEMA`
+is that schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+__all__ = ["RelationSchema", "Schema", "GRAPH_SCHEMA", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or schema mismatches."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A single relation (predicate) symbol.
+
+    Parameters
+    ----------
+    name:
+        The predicate symbol, e.g. ``"E"``.
+    arity:
+        Number of columns; must be positive (the paper requires ``n_i > 0``).
+    attributes:
+        Optional column names.  When omitted, ``c0, c1, ...`` are generated.
+    """
+
+    name: str
+    arity: int
+    attributes: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("relation name must be a non-empty string")
+        if self.arity <= 0:
+            raise SchemaError(
+                f"relation {self.name!r} must have positive arity, got {self.arity}"
+            )
+        if self.attributes:
+            if len(self.attributes) != self.arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: {len(self.attributes)} attribute names "
+                    f"for arity {self.arity}"
+                )
+            if len(set(self.attributes)) != len(self.attributes):
+                raise SchemaError(
+                    f"relation {self.name!r}: duplicate attribute names"
+                )
+        else:
+            object.__setattr__(
+                self, "attributes", tuple(f"c{i}" for i in range(self.arity))
+            )
+
+    def position_of(self, attribute: str) -> int:
+        """Return the column index of ``attribute``.
+
+        Raises :class:`SchemaError` if the attribute does not exist.
+        """
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from exc
+
+    def validate_tuple(self, row: Sequence[object]) -> Tuple[object, ...]:
+        """Coerce ``row`` to a tuple and check its arity."""
+        t = tuple(row)
+        if len(t) != self.arity:
+            raise SchemaError(
+                f"tuple {t!r} has arity {len(t)}, relation {self.name!r} "
+                f"expects {self.arity}"
+            )
+        return t
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """An ordered collection of :class:`RelationSchema` objects.
+
+    Schemas are immutable once constructed and are hashable, so they can be
+    used as dictionary keys (e.g. for caching per-schema machinery such as
+    graph enumerations).
+    """
+
+    __slots__ = ("_relations", "_by_name", "_hash")
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        rels = tuple(relations)
+        if not rels:
+            raise SchemaError("a schema must contain at least one relation")
+        by_name: Dict[str, RelationSchema] = {}
+        for rel in rels:
+            if not isinstance(rel, RelationSchema):
+                raise SchemaError(f"expected RelationSchema, got {type(rel).__name__}")
+            if rel.name in by_name:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            by_name[rel.name] = rel
+        self._relations = rels
+        self._by_name = by_name
+        self._hash = hash(rels)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, **arities: int) -> "Schema":
+        """Build a schema from keyword arguments, e.g. ``Schema.of(E=2, P=1)``."""
+        return cls(RelationSchema(name, arity) for name, arity in arities.items())
+
+    @classmethod
+    def graph(cls) -> "Schema":
+        """The single-binary-predicate schema used throughout the paper."""
+        return GRAPH_SCHEMA
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchemaError(f"schema has no relation named {name!r}") from exc
+
+    def get(self, name: str) -> Optional[RelationSchema]:
+        return self._by_name.get(name)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(rel.name for rel in self._relations)
+
+    @property
+    def relations(self) -> Tuple[RelationSchema, ...]:
+        return self._relations
+
+    def arity(self, name: str) -> int:
+        return self[name].arity
+
+    # -- combination ------------------------------------------------------------
+
+    def extend(self, *extra: RelationSchema) -> "Schema":
+        """Return a new schema with ``extra`` relations appended."""
+        return Schema(self._relations + tuple(extra))
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """Return the sub-schema containing only ``names`` (in schema order)."""
+        wanted = set(names)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise SchemaError(f"cannot restrict to unknown relations {sorted(missing)}")
+        return Schema(rel for rel in self._relations if rel.name in wanted)
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(rel) for rel in self._relations)
+        return f"Schema({inner})"
+
+
+#: The schema of finite directed graphs: a single binary predicate ``E``.
+GRAPH_SCHEMA = Schema([RelationSchema("E", 2, ("src", "dst"))])

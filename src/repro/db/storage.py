@@ -1,0 +1,266 @@
+"""A small transactional storage engine.
+
+The paper's motivation is integrity maintenance: a database system executes
+transactions and must keep a set of integrity constraints true, either by
+
+* **run-time monitoring** — execute the transaction, check the constraints on
+  the new state, and roll back if any is violated (potentially expensive), or
+* **static verification** — evaluate a weakest precondition on the *current*
+  state and refuse to run the transaction when the precondition fails
+  (``if wpc(T, alpha) then T else abort``).
+
+This module provides the substrate both strategies run on: an in-memory,
+multi-relation store with snapshots, explicit transactions (begin / commit /
+rollback), write logging, and pluggable integrity-checking hooks.  The
+integrity-maintenance engine in :mod:`repro.core.maintenance` builds the two
+strategies on top of it and the E13 benchmark compares them.
+
+The store intentionally keeps the same data model as
+:class:`~repro.db.database.Database` (sets of tuples per relation) so that a
+snapshot can be handed to the logic evaluator or to a transaction object
+without conversion cost beyond freezing the sets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .database import Database
+from .schema import Schema
+
+__all__ = [
+    "StorageError",
+    "TransactionAborted",
+    "WriteOp",
+    "TransactionStats",
+    "Store",
+]
+
+Row = Tuple[object, ...]
+
+
+class StorageError(RuntimeError):
+    """Raised on misuse of the storage engine (no open transaction, etc.)."""
+
+
+class TransactionAborted(RuntimeError):
+    """Raised when a transaction is aborted (explicitly or by an integrity check)."""
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """A single logged write: an insert or delete of one tuple."""
+
+    kind: str  # "insert" | "delete"
+    relation: str
+    row: Row
+
+    def inverse(self) -> "WriteOp":
+        """The operation that undoes this one."""
+        return WriteOp("delete" if self.kind == "insert" else "insert",
+                       self.relation, self.row)
+
+
+@dataclass
+class TransactionStats:
+    """Bookkeeping about committed / aborted transactions, used by benchmarks."""
+
+    committed: int = 0
+    aborted: int = 0
+    rolled_back_writes: int = 0
+    constraint_checks: int = 0
+    precondition_checks: int = 0
+    wall_time: float = 0.0
+
+    def reset(self) -> None:
+        self.committed = 0
+        self.aborted = 0
+        self.rolled_back_writes = 0
+        self.constraint_checks = 0
+        self.precondition_checks = 0
+        self.wall_time = 0.0
+
+
+class Store:
+    """An in-memory transactional store over a fixed schema.
+
+    Outside a transaction, reads are allowed but writes raise
+    :class:`StorageError`.  Inside a transaction, writes are applied eagerly
+    and logged; ``rollback`` replays the log in reverse.  ``commit`` runs all
+    registered integrity checkers against the tentative state and rolls back
+    (raising :class:`TransactionAborted`) if any of them rejects it.
+    """
+
+    def __init__(self, schema: Schema, initial: Optional[Database] = None):
+        self._schema = schema
+        self._data: Dict[str, Set[Row]] = {name: set() for name in schema.relation_names}
+        if initial is not None:
+            if initial.schema != schema:
+                raise StorageError("initial database has a different schema")
+            for name in schema.relation_names:
+                self._data[name] = set(initial.relation(name))
+        self._log: Optional[List[WriteOp]] = None
+        self._checkers: List[Tuple[str, Callable[[Database], bool]]] = []
+        self.stats = TransactionStats()
+
+    # -- schema and snapshots ----------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def snapshot(self) -> Database:
+        """An immutable :class:`Database` copy of the current state."""
+        return Database(self._schema, {k: list(v) for k, v in self._data.items()})
+
+    def cardinality(self, relation: Optional[str] = None) -> int:
+        if relation is not None:
+            return len(self._data[relation])
+        return sum(len(rows) for rows in self._data.values())
+
+    def contains(self, relation: str, row: Sequence[object]) -> bool:
+        return self._schema[relation].validate_tuple(row) in self._data[relation]
+
+    def scan(self, relation: str) -> Iterable[Row]:
+        """Iterate over the rows of ``relation`` (a stable copy)."""
+        return list(self._data[relation])
+
+    # -- integrity checkers --------------------------------------------------------
+
+    def register_checker(self, name: str, checker: Callable[[Database], bool]) -> None:
+        """Register an integrity checker run at commit time.
+
+        ``checker`` receives the tentative post-state as a :class:`Database`
+        and must return ``True`` to accept it.
+        """
+        self._checkers.append((name, checker))
+
+    def clear_checkers(self) -> None:
+        self._checkers.clear()
+
+    @property
+    def checker_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _fn in self._checkers)
+
+    # -- transactions ----------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._log is not None
+
+    def begin(self) -> None:
+        if self._log is not None:
+            raise StorageError("a transaction is already open")
+        self._log = []
+
+    def insert(self, relation: str, row: Sequence[object]) -> bool:
+        """Insert ``row``; returns ``True`` if the store changed."""
+        self._require_transaction()
+        validated = self._schema[relation].validate_tuple(row)
+        if validated in self._data[relation]:
+            return False
+        self._data[relation].add(validated)
+        self._log.append(WriteOp("insert", relation, validated))
+        return True
+
+    def delete(self, relation: str, row: Sequence[object]) -> bool:
+        """Delete ``row``; returns ``True`` if the store changed."""
+        self._require_transaction()
+        validated = self._schema[relation].validate_tuple(row)
+        if validated not in self._data[relation]:
+            return False
+        self._data[relation].remove(validated)
+        self._log.append(WriteOp("delete", relation, validated))
+        return True
+
+    def apply_database(self, target: Database) -> None:
+        """Inside a transaction, make the store equal to ``target``.
+
+        Used to run paper-style transactions (functions on databases) against
+        the store while retaining the write log for rollback.
+        """
+        self._require_transaction()
+        if target.schema != self._schema:
+            raise StorageError("target database has a different schema")
+        for name in self._schema.relation_names:
+            current = set(self._data[name])
+            wanted = set(target.relation(name))
+            for row in current - wanted:
+                self.delete(name, row)
+            for row in wanted - current:
+                self.insert(name, row)
+
+    def rollback(self) -> int:
+        """Undo every write of the open transaction; returns the number undone."""
+        log = self._require_transaction()
+        undone = 0
+        for op in reversed(log):
+            inverse = op.inverse()
+            if inverse.kind == "insert":
+                self._data[inverse.relation].add(inverse.row)
+            else:
+                self._data[inverse.relation].discard(inverse.row)
+            undone += 1
+        self.stats.rolled_back_writes += undone
+        self.stats.aborted += 1
+        self._log = None
+        return undone
+
+    def commit_unchecked(self) -> None:
+        """Commit the open transaction without running the integrity checkers.
+
+        Used by maintenance policies that have already established integrity
+        by other means (e.g. a weakest-precondition check before execution).
+        """
+        self._require_transaction()
+        self._log = None
+        self.stats.committed += 1
+
+    def commit(self) -> None:
+        """Run integrity checkers and either commit or roll back."""
+        self._require_transaction()
+        started = time.perf_counter()
+        state = self.snapshot()
+        for name, checker in self._checkers:
+            self.stats.constraint_checks += 1
+            if not checker(state):
+                self.rollback()
+                self.stats.wall_time += time.perf_counter() - started
+                raise TransactionAborted(f"integrity constraint {name!r} violated")
+        self._log = None
+        self.stats.committed += 1
+        self.stats.wall_time += time.perf_counter() - started
+
+    def run(self, body: Callable[["Store"], None]) -> bool:
+        """Run ``body`` inside a transaction; returns ``True`` on commit.
+
+        Any :class:`TransactionAborted` raised by ``body`` or by commit-time
+        checking results in a rollback and ``False``.
+        """
+        self.begin()
+        try:
+            body(self)
+        except TransactionAborted:
+            if self.in_transaction:
+                self.rollback()
+            return False
+        except Exception:
+            if self.in_transaction:
+                self.rollback()
+            raise
+        try:
+            self.commit()
+        except TransactionAborted:
+            return False
+        return True
+
+    def _require_transaction(self) -> List[WriteOp]:
+        if self._log is None:
+            raise StorageError("no open transaction")
+        return self._log
+
+    def __repr__(self) -> str:
+        sizes = {name: len(rows) for name, rows in self._data.items()}
+        return f"Store(schema={self._schema!r}, sizes={sizes}, in_txn={self.in_transaction})"

@@ -1,0 +1,94 @@
+"""Finite model theory toolkit.
+
+Everything the paper's inexpressibility proofs rely on: isomorphism testing
+and canonical forms, Hanf locality (Gaifman graph, r-neighbourhoods, r-types,
+``≈_{d,m}`` equivalence), Ehrenfeucht–Fraïssé games, Gaifman basic local
+sentences, degree counts / the bounded degree property, and the Ajtai–Fagin
+game for monadic Σ¹₁.
+"""
+
+from .isomorphism import are_isomorphic, canonical_form, color_refinement
+from .hanf import (
+    ball,
+    degree_bound,
+    gaifman_adjacency,
+    gaifman_distance,
+    hanf_equivalent,
+    hanf_threshold,
+    neighborhood,
+    neighborhood_type,
+    same_type_counts,
+    type_census,
+)
+from .ef_games import (
+    distinguishing_rank,
+    duplicator_wins,
+    ef_equivalent_linear_orders,
+    partial_isomorphism,
+)
+from .gaifman import (
+    BasicLocalSentence,
+    LocalFormula,
+    adjacent_formula,
+    dist_at_most,
+    dist_greater_than,
+    has_successor_local_formula,
+    isolated_loop_local_formula,
+    loop_local_formula,
+    relativize_to_ball,
+)
+from .degree import (
+    degree_count,
+    in_degrees,
+    max_degree,
+    out_degrees,
+    violates_degree_bound,
+)
+from .ajtai_fagin import (
+    branch_nodes,
+    collapse_branch,
+    duplicator_wins_af_game,
+    lemma4_bound,
+    lemma4_find_pair,
+    paper_duplicator_response,
+)
+
+__all__ = [
+    "are_isomorphic",
+    "canonical_form",
+    "color_refinement",
+    "ball",
+    "degree_bound",
+    "gaifman_adjacency",
+    "gaifman_distance",
+    "hanf_equivalent",
+    "hanf_threshold",
+    "neighborhood",
+    "neighborhood_type",
+    "same_type_counts",
+    "type_census",
+    "distinguishing_rank",
+    "duplicator_wins",
+    "ef_equivalent_linear_orders",
+    "partial_isomorphism",
+    "BasicLocalSentence",
+    "LocalFormula",
+    "adjacent_formula",
+    "dist_at_most",
+    "dist_greater_than",
+    "has_successor_local_formula",
+    "isolated_loop_local_formula",
+    "loop_local_formula",
+    "relativize_to_ball",
+    "degree_count",
+    "in_degrees",
+    "max_degree",
+    "out_degrees",
+    "violates_degree_bound",
+    "branch_nodes",
+    "collapse_branch",
+    "duplicator_wins_af_game",
+    "lemma4_bound",
+    "lemma4_find_pair",
+    "paper_duplicator_response",
+]

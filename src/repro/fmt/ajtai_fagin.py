@@ -1,0 +1,261 @@
+"""The Ajtai–Fagin game for monadic Σ¹₁.
+
+Fagin [16] shows that a class ``G`` of graphs is *not* definable in monadic
+Σ¹₁ relative to a class ``C`` iff for all numbers of colours ``c`` and rounds
+``k`` the duplicator wins the ``(c, k)`` Ajtai–Fagin game for ``G`` and
+``C − G``:
+
+1. the duplicator selects a graph ``G1 ∈ G``;
+2. the spoiler colours the nodes of ``G1`` with ``c`` colours;
+3. the duplicator selects ``G2 ∈ C − G`` and colours it;
+4. the two players play the ``k``-round Ehrenfeucht–Fraïssé game on the two
+   *coloured* graphs; the duplicator wins iff she wins this EF game.
+
+Theorem 3 of the paper uses the game twice: on the cycle families
+``C^1_n`` / ``C^2_n`` (for transitive closure) and on the two-branch trees
+``G_{n,n}`` versus their "collapsed" variants (for same-generation), with the
+combinatorial Lemma 4 selecting where to collapse.
+
+This module provides
+
+* a brute-force evaluation of the game for small parameters
+  (:func:`duplicator_wins_af_game`) — used as an executable sanity check,
+* the paper's explicit duplicator strategy for the ``G_{n,n}`` case:
+  :func:`lemma4_find_pair` (the combinatorial lemma), :func:`collapse_branch`
+  (the graph surgery) and :func:`paper_duplicator_response`, whose output is
+  validated with the Hanf ``≈_{d,m}`` criterion of [17] (Claim 1 of Theorem 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.graph import two_branch_tree
+from ..logic.monadic import all_colorings, color_graph
+from .ef_games import duplicator_wins
+from .hanf import hanf_equivalent
+
+__all__ = [
+    "duplicator_wins_af_game",
+    "lemma4_bound",
+    "lemma4_find_pair",
+    "collapse_branch",
+    "paper_duplicator_response",
+    "branch_nodes",
+]
+
+
+def duplicator_wins_af_game(
+    chosen_graph: Database,
+    alternative_graphs: Sequence[Database],
+    colors: int,
+    rounds: int,
+    duplicator_colorings: Optional[Callable[[Database, Dict[object, int]], Iterable[Dict[object, int]]]] = None,
+) -> bool:
+    """Brute-force evaluation of the ``(colors, rounds)`` Ajtai–Fagin game.
+
+    ``chosen_graph`` is the duplicator's Step-1 choice; the duplicator wins if
+    *for every* spoiler colouring of it there is an alternative graph and a
+    colouring of that graph such that the duplicator wins the ``rounds``-round
+    EF game on the coloured structures.
+
+    ``duplicator_colorings`` optionally restricts the colourings the duplicator
+    tries for a given alternative graph (by default all colourings are tried,
+    which is exponential — keep the graphs tiny or supply a strategy).
+    """
+    nodes = sorted(chosen_graph.active_domain, key=repr)
+    for spoiler_coloring in all_colorings(nodes, colors):
+        colored_choice = color_graph(chosen_graph, spoiler_coloring, colors)
+        if not _duplicator_has_response(
+            colored_choice, alternative_graphs, spoiler_coloring, colors, rounds,
+            duplicator_colorings,
+        ):
+            return False
+    return True
+
+
+def _duplicator_has_response(
+    colored_choice: Database,
+    alternative_graphs: Sequence[Database],
+    spoiler_coloring: Dict[object, int],
+    colors: int,
+    rounds: int,
+    duplicator_colorings,
+) -> bool:
+    for alternative in alternative_graphs:
+        alt_nodes = sorted(alternative.active_domain, key=repr)
+        if duplicator_colorings is not None:
+            candidate_colorings = duplicator_colorings(alternative, spoiler_coloring)
+        else:
+            candidate_colorings = all_colorings(alt_nodes, colors)
+        for coloring in candidate_colorings:
+            colored_alternative = color_graph(alternative, coloring, colors)
+            if duplicator_wins(colored_choice, colored_alternative, rounds):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the paper's explicit strategy for G = { G_{n,n} }
+# ---------------------------------------------------------------------------
+
+def lemma4_bound(p: int, l: int) -> int:
+    """The bound ``N[p, l]`` of Lemma 4: ``4 f^4 + f (f + 1) + 1`` with ``f = max(p, l)``.
+
+    Any partition of ``{1, ..., N}`` with ``N > N[p, l]`` into ``l`` classes
+    contains two indices ``i1 < i2`` in the same class such that every index
+    between them lies in a class with at least ``p + (i2 - i1)`` elements.
+    """
+    if p < 1 or l < 1:
+        raise ValueError("p and l must be positive")
+    f = max(p, l)
+    return 4 * f ** 4 + f * (f + 1) + 1
+
+
+def lemma4_find_pair(
+    assignment: Sequence[int], p: int
+) -> Optional[Tuple[int, int]]:
+    """Find the pair promised by Lemma 4 in a concrete partition.
+
+    ``assignment[i]`` is the class of index ``i`` (0-based positions standing
+    for ``1..N``).  Returns 0-based ``(i1, i2)`` with ``i1 < i2``, both in the
+    same class, such that every index ``i1 <= i <= i2`` belongs to a class
+    containing at least ``p + (i2 - i1)`` indices; or ``None`` if no such pair
+    exists (which Lemma 4 guarantees cannot happen once
+    ``len(assignment) > lemma4_bound(p, number_of_classes)``).
+    """
+    class_sizes: Dict[int, int] = {}
+    for cls in assignment:
+        class_sizes[cls] = class_sizes.get(cls, 0) + 1
+    positions_by_class: Dict[int, List[int]] = {}
+    for index, cls in enumerate(assignment):
+        positions_by_class.setdefault(cls, []).append(index)
+    best: Optional[Tuple[int, int]] = None
+    for positions in positions_by_class.values():
+        for a_pos, b_pos in itertools.combinations(positions, 2):
+            gap = b_pos - a_pos
+            if all(
+                class_sizes[assignment[i]] >= p + gap for i in range(a_pos, b_pos + 1)
+            ):
+                if best is None or (b_pos - a_pos) < (best[1] - best[0]):
+                    best = (a_pos, b_pos)
+    return best
+
+
+def branch_nodes(n: int) -> Tuple[List[object], List[object], object]:
+    """Node lists (left branch, right branch, root) of ``two_branch_tree(n, n)``.
+
+    The generator labels the root 0, the left branch ``1..n`` and the right
+    branch ``n+1..2n`` in chain order; this helper exposes that layout so the
+    collapse surgery can address nodes by branch position.
+    """
+    root = 0
+    left = list(range(1, n + 1))
+    right = list(range(n + 1, 2 * n + 1))
+    return left, right, root
+
+
+def collapse_branch(n: int, a_position: int, b_position: int, branch: str = "left") -> Database:
+    """``G'``: ``G_{n,n}`` with the nodes strictly after ``a`` up to ``b`` removed.
+
+    ``a_position < b_position`` are 0-based positions within the chosen branch
+    of ``G_{n,n}``.  The successor of ``a`` becomes the old successor of ``b``,
+    so the resulting graph is ``G_{n - (b - a), n}`` (or the mirror image) —
+    in particular it is a tree that is *not* of the form ``G_{m,m}``, exactly
+    as the duplicator needs in Step 3.
+    """
+    if not 0 <= a_position < b_position:
+        raise ValueError("need 0 <= a_position < b_position")
+    left, right, root = branch_nodes(n)
+    chain = left if branch == "left" else right
+    if b_position >= len(chain):
+        raise ValueError("b_position outside the branch")
+    removed = set(chain[a_position + 1 : b_position + 1])
+    survivor_edges = []
+    original = two_branch_tree(n, n)
+    for (x, y) in original.edges:
+        if x in removed or y in removed:
+            continue
+        survivor_edges.append((x, y))
+    # bridge a to the old successor of b (if b was not the last node)
+    a_node = chain[a_position]
+    b_node = chain[b_position]
+    successors_of_b = [y for (x, y) in original.edges if x == b_node]
+    for y in successors_of_b:
+        if y not in removed:
+            survivor_edges.append((a_node, y))
+    return Database.graph(survivor_edges)
+
+
+def paper_duplicator_response(
+    n: int,
+    coloring: Dict[object, int],
+    colors: int,
+    d: int,
+    m: int,
+) -> Optional[Tuple[Database, Dict[object, int], Tuple[int, int]]]:
+    """The duplicator's Step-3 response of Theorem 3 for ``G_{n,n}``.
+
+    Given the spoiler's colouring of ``G_{n,n}``, partition the *internal*
+    nodes of one branch by the isomorphism type of their coloured
+    ``d``-neighbourhoods (approximated here by the window of colours at
+    distance ``<= d``, which determines the type on a chain), apply Lemma 4 to
+    find two nodes ``a, b`` of the same type, and return the collapsed graph
+    ``G2`` with the inherited colouring together with the chosen positions.
+
+    Returns ``None`` when the branch is too short for Lemma 4 to apply (the
+    caller should pick a larger ``n``).
+    """
+    left, right, root = branch_nodes(n)
+    internal = [
+        node for node in left
+        if _distance_from_ends(node, left, root) > d
+    ]
+    if len(internal) < 2:
+        return None
+    # The d-type of an internal chain node is determined by the coloured window
+    # of radius d around it (the underlying graph is a path there).
+    def window_type(node: object) -> Tuple:
+        position = left.index(node)
+        window = []
+        for offset in range(-d, d + 1):
+            neighbour_position = position + offset
+            if 0 <= neighbour_position < len(left):
+                window.append(coloring.get(left[neighbour_position], -1))
+            elif neighbour_position == -1:
+                window.append(("root", coloring.get(root, -1)))
+            else:
+                window.append(None)
+        return tuple(window)
+
+    types = [window_type(node) for node in internal]
+    type_index: Dict[Tuple, int] = {}
+    assignment = []
+    for t in types:
+        if t not in type_index:
+            type_index[t] = len(type_index)
+        assignment.append(type_index[t])
+    pair = lemma4_find_pair(assignment, m)
+    if pair is None:
+        return None
+    a_position_internal, b_position_internal = pair
+    a_node = internal[a_position_internal]
+    b_node = internal[b_position_internal]
+    a_position = left.index(a_node)
+    b_position = left.index(b_node)
+    collapsed = collapse_branch(n, a_position, b_position, branch="left")
+    inherited = {
+        node: colour for node, colour in coloring.items()
+        if node in collapsed.active_domain
+    }
+    return collapsed, inherited, (a_position, b_position)
+
+
+def _distance_from_ends(node: object, branch: Sequence[object], root: object) -> int:
+    """Distance of a branch node from the nearer of the root and the leaf."""
+    position = branch.index(node)
+    from_root = position + 1  # root -> first branch node is one edge
+    from_leaf = len(branch) - 1 - position
+    return min(from_root, from_leaf)

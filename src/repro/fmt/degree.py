@@ -1,0 +1,101 @@
+"""Degree counts and the bounded degree property of first-order queries.
+
+Libkin and Wong [27] show that first-order queries have the *bounded degree
+property*: for a first-order query ``q`` there is a function ``f_q`` such
+that the degree count of ``q(G)`` is at most ``f_q(d)`` whenever all degrees
+of ``G`` are at most ``d``.  The paper uses this twice:
+
+* Theorem 7: no first-order query computes transitive closure on chains
+  (the tc of an ``n``-chain has ``n`` distinct out-degrees while the chain has
+  degree count 2), hence the chain transaction admits no prerelations over FO;
+* Corollary 2: the class ``WPC(FO)`` cannot be characterised by any degree
+  bound ``f``.
+
+Here ``dc(G)``, the *degree count*, is the number of distinct in-degrees plus
+the number of distinct out-degrees occurring in ``G`` — exactly the measure of
+[27] used by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..db.database import Database
+
+__all__ = [
+    "in_degrees",
+    "out_degrees",
+    "degree_count",
+    "max_degree",
+    "violates_degree_bound",
+]
+
+
+def out_degrees(db: Database) -> Dict[object, int]:
+    """Out-degree of every active-domain node of a graph database."""
+    degrees = {node: 0 for node in db.active_domain}
+    for (x, _y) in db.edges:
+        degrees[x] += 1
+    return degrees
+
+
+def in_degrees(db: Database) -> Dict[object, int]:
+    """In-degree of every active-domain node of a graph database."""
+    degrees = {node: 0 for node in db.active_domain}
+    for (_x, y) in db.edges:
+        degrees[y] += 1
+    return degrees
+
+
+def degree_count(db: Database) -> int:
+    """``dc(G)``: the number of distinct in- and out-degrees occurring in ``G``.
+
+    Following [27] (and the paper's usage) the in-degree spectrum and the
+    out-degree spectrum are counted separately and added.
+    """
+    outs: Set[int] = set(out_degrees(db).values())
+    ins: Set[int] = set(in_degrees(db).values())
+    return len(outs) + len(ins)
+
+
+def max_degree(db: Database) -> int:
+    """The maximal in- or out-degree occurring in ``G`` (0 for the empty graph)."""
+    outs = out_degrees(db)
+    ins = in_degrees(db)
+    values = list(outs.values()) + list(ins.values())
+    return max(values, default=0)
+
+
+def violates_degree_bound(
+    query, inputs, bound_function
+) -> Tuple[bool, Dict[str, int]]:
+    """Check whether ``query`` violates a degree bound on the given inputs.
+
+    Parameters
+    ----------
+    query:
+        A callable mapping a graph :class:`Database` to a graph :class:`Database`.
+    inputs:
+        An iterable of input graphs.
+    bound_function:
+        A function ``f`` mapping the input's degree count to the allowed
+        output degree count (the ``Q_f`` classes of Corollary 2).
+
+    Returns
+    -------
+    (violated, evidence):
+        ``violated`` is ``True`` if some input graph ``G`` has
+        ``dc(query(G)) > f(dc(G))``; ``evidence`` records the worst ratio seen
+        (input degree count, output degree count, allowed bound).
+    """
+    worst = {"input_dc": 0, "output_dc": 0, "allowed": 0}
+    violated = False
+    for graph in inputs:
+        input_dc = degree_count(graph)
+        output_dc = degree_count(query(graph))
+        allowed = bound_function(input_dc)
+        if output_dc > worst["output_dc"]:
+            worst = {"input_dc": input_dc, "output_dc": output_dc, "allowed": allowed}
+        if output_dc > allowed:
+            violated = True
+    return violated, worst

@@ -1,0 +1,215 @@
+"""Gaifman locality: distance formulas, local formulas and basic local sentences.
+
+Gaifman's theorem [18] states that every first-order sentence is equivalent to
+a Boolean combination of *basic local sentences*
+
+.. math::
+
+    \\exists x_1 \\ldots \\exists x_s \\Big( \\bigwedge_i \\psi^{(r)}(x_i)
+    \\; \\wedge \\; \\bigwedge_{i \\ne j} d(x_i, x_j) > 2r \\Big)
+
+where ``psi^(r)(x)`` is an ``r``-local formula (all quantifiers relativised to
+the radius-``r`` ball around ``x``).  The weakest-precondition algorithm of
+Theorem 7 works on constraints presented in this form, and Corollary 3's rank
+blow-up is stated for such sentences.
+
+This module provides
+
+* FO *distance formulas* ``dist_at_most(x, y, r)`` over the graph schema
+  (Gaifman distance, i.e. undirected reachability within ``r`` steps),
+* relativisation of a formula's quantifiers to the radius-``r`` ball around a
+  free variable (producing an ``r``-local formula),
+* :class:`BasicLocalSentence` — the syntactic object (s, r, local formula)
+  together with conversion to an ordinary :class:`~repro.logic.syntax.Formula`
+  and direct evaluation,
+* ready-made local formulas used by the experiments (e.g. "x has a loop",
+  "x has an out-neighbour").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..db.database import Database
+from ..logic.builder import E
+from ..logic.evaluation import evaluate
+from ..logic.syntax import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    TOP,
+    make_and,
+    make_or,
+)
+from ..logic.terms import Var
+
+__all__ = [
+    "adjacent_formula",
+    "dist_at_most",
+    "dist_greater_than",
+    "relativize_to_ball",
+    "LocalFormula",
+    "BasicLocalSentence",
+    "loop_local_formula",
+    "has_successor_local_formula",
+    "isolated_loop_local_formula",
+]
+
+
+def adjacent_formula(x: str, y: str) -> Formula:
+    """Gaifman adjacency on graphs: ``E(x, y) | E(y, x)``."""
+    return make_or(E(x, y), E(y, x))
+
+
+def dist_at_most(x: str, y: str, radius: int, fresh_prefix: str = "_d") -> Formula:
+    """An FO formula asserting Gaifman distance ``d(x, y) <= radius``.
+
+    Built by unfolding: ``d <= 0`` is ``x = y``; ``d <= r`` is
+    ``exists z . adjacent(x, z) & d(z, y) <= r - 1`` (or ``x = y``).
+    The quantifier rank grows linearly with ``radius``, which is fine for the
+    small radii used in experiments.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0:
+        return Eq(Var(x), Var(y))
+    z = f"{fresh_prefix}{radius}"
+    closer = dist_at_most(z, y, radius - 1, fresh_prefix)
+    step = Exists(z, make_and(adjacent_formula(x, z), closer))
+    return make_or(Eq(Var(x), Var(y)), step)
+
+
+def dist_greater_than(x: str, y: str, radius: int, fresh_prefix: str = "_d") -> Formula:
+    """``d(x, y) > radius`` as a first-order formula."""
+    return Not(dist_at_most(x, y, radius, fresh_prefix))
+
+
+def relativize_to_ball(formula: Formula, centre: str, radius: int) -> Formula:
+    """Relativise every quantifier of ``formula`` to the radius-``radius`` ball around ``centre``.
+
+    ``exists y . phi`` becomes ``exists y . d(centre, y) <= radius & phi`` and
+    ``forall y . phi`` becomes ``forall y . d(centre, y) <= radius -> phi``.
+    The result is an ``r``-local formula around ``centre`` in Gaifman's sense.
+    """
+    if isinstance(formula, Exists):
+        bound = dist_at_most(centre, formula.variable, radius)
+        return Exists(
+            formula.variable,
+            make_and(bound, relativize_to_ball(formula.body, centre, radius)),
+        )
+    if isinstance(formula, Forall):
+        bound = dist_at_most(centre, formula.variable, radius)
+        return Forall(
+            formula.variable,
+            bound.implies(relativize_to_ball(formula.body, centre, radius)),
+        )
+    return formula.map_children(lambda child: relativize_to_ball(child, centre, radius))
+
+
+@dataclass(frozen=True)
+class LocalFormula:
+    """An ``r``-local formula ``psi^(r)(x)``: a formula with one free variable
+    whose quantifiers are (or are to be) relativised to the radius-``r`` ball
+    around that variable."""
+
+    variable: str
+    radius: int
+    body: Formula
+    already_relativized: bool = False
+
+    def as_formula(self) -> Formula:
+        """The relativised first-order formula with ``variable`` free."""
+        if self.already_relativized:
+            return self.body
+        return relativize_to_ball(self.body, self.variable, self.radius)
+
+    def free_variable_check(self) -> None:
+        frees = self.body.free_variables()
+        if frees - {self.variable}:
+            raise ValueError(
+                f"local formula has unexpected free variables {sorted(frees - {self.variable})}"
+            )
+
+    def quantifier_rank(self) -> int:
+        return self.as_formula().quantifier_rank()
+
+
+@dataclass(frozen=True)
+class BasicLocalSentence:
+    """A Gaifman basic local sentence: ``s`` scattered witnesses of a local property.
+
+    ``exists x_1 ... x_s . /\\_i psi^(r)(x_i)  &  /\\_{i<j} d(x_i, x_j) > 2r``
+    """
+
+    count: int
+    radius: int
+    local: LocalFormula
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a basic local sentence needs at least one witness (s >= 1)")
+        if self.radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.local.free_variable_check()
+
+    def witness_names(self) -> List[str]:
+        return [f"w{i + 1}" for i in range(self.count)]
+
+    def as_formula(self) -> Formula:
+        """The equivalent ordinary first-order sentence."""
+        names = self.witness_names()
+        locals_: List[Formula] = []
+        base = self.local.as_formula()
+        for name in names:
+            locals_.append(base.substitute({self.local.variable: Var(name)}))
+        scattering: List[Formula] = []
+        for i in range(self.count):
+            for j in range(i + 1, self.count):
+                scattering.append(dist_greater_than(names[i], names[j], 2 * self.radius))
+        body = make_and(*locals_, *scattering)
+        result: Formula = body
+        for name in reversed(names):
+            result = Exists(name, result)
+        return result
+
+    def holds(self, db: Database) -> bool:
+        """Direct evaluation (via the ordinary-formula translation)."""
+        return evaluate(self.as_formula(), db)
+
+    def quantifier_rank(self) -> int:
+        return self.as_formula().quantifier_rank()
+
+
+# ---------------------------------------------------------------------------
+# stock local formulas used in experiments
+# ---------------------------------------------------------------------------
+
+def loop_local_formula(variable: str = "x") -> LocalFormula:
+    """``E(x, x)`` — a 0-local property."""
+    return LocalFormula(variable, 0, E(variable, variable), already_relativized=True)
+
+
+def has_successor_local_formula(variable: str = "x", radius: int = 1) -> LocalFormula:
+    """``exists y . E(x, y)`` as a 1-local formula."""
+    return LocalFormula(variable, radius, Exists("y", E(variable, "y")))
+
+
+def isolated_loop_local_formula(variable: str = "x", radius: int = 1) -> LocalFormula:
+    """``x`` has a loop and no other incident edge (1-local)."""
+    body = make_and(
+        E(variable, variable),
+        Forall(
+            "y",
+            make_or(
+                Not(make_or(E(variable, "y"), E("y", variable))),
+                Eq(Var("y"), Var(variable)),
+            ),
+        ),
+    )
+    return LocalFormula(variable, radius, body)

@@ -1,0 +1,174 @@
+"""Hanf locality: Gaifman graph, r-neighbourhoods, r-types and ≈_{d,m}.
+
+The key inexpressibility tool in the proofs of Theorem 2 (Claim 3) and
+Theorem 3 is Hanf's technique in the finite version of Fagin, Stockmeyer and
+Vardi [17]:
+
+* the *Gaifman graph* of a structure connects two elements iff they occur
+  together in some tuple;
+* the *r-neighbourhood* ``N_r(a)`` of an element ``a`` is the substructure
+  induced by all elements at Gaifman distance at most ``r`` from ``a``, with
+  ``a`` as a distinguished point;
+* the *r-type* of ``a`` is the isomorphism type of ``N_r(a)``;
+* two structures are ``d,m``-equivalent (written ``G1 ≈_{d,m} G2``) if for
+  every isomorphism type of a ``d``-neighbourhood, either both structures have
+  the same number ``< m`` of elements realising it, or both have at least ``m``;
+* (Hanf/FSV) for every quantifier rank ``k`` there are ``d`` and ``m``
+  (``d = 3^k`` suffices, with ``m`` depending on ``k`` and the degree bound)
+  such that ``d,m``-equivalent structures satisfy the same FO sentences of
+  quantifier rank ``k``.
+
+The paper instantiates this with the two-branch trees ``G_{n,n}`` and
+``G_{n-1,n+1}``: for every ``r`` and every ``n > 2r + 1`` they realise every
+``r``-type the same number of times, hence no FO sentence can separate the two
+families — which kills weakest preconditions for same-generation queries.
+This module provides the machinery; the experiment E5 and its benchmark check
+the counting claim mechanically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..db.database import Database
+from .isomorphism import are_isomorphic, canonical_form
+
+__all__ = [
+    "gaifman_adjacency",
+    "gaifman_distance",
+    "ball",
+    "neighborhood",
+    "neighborhood_type",
+    "type_census",
+    "hanf_equivalent",
+    "same_type_counts",
+    "degree_bound",
+    "hanf_threshold",
+]
+
+
+def gaifman_adjacency(db: Database) -> Dict[object, Set[object]]:
+    """The Gaifman graph: ``a`` and ``b`` are adjacent iff they co-occur in a tuple."""
+    adjacency: Dict[object, Set[object]] = {v: set() for v in db.active_domain}
+    for _name, row in db:
+        for x in row:
+            for y in row:
+                if x != y:
+                    adjacency[x].add(y)
+                    adjacency[y].add(x)
+    return adjacency
+
+
+def gaifman_distance(
+    db: Database, source: object, adjacency: Optional[Dict[object, Set[object]]] = None
+) -> Dict[object, int]:
+    """Gaifman distances from ``source`` to every reachable element (BFS)."""
+    if adjacency is None:
+        adjacency = gaifman_adjacency(db)
+    if source not in adjacency:
+        return {source: 0}
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbour in adjacency[current]:
+            if neighbour not in distances:
+                distances[neighbour] = distances[current] + 1
+                queue.append(neighbour)
+    return distances
+
+
+def ball(
+    db: Database,
+    centre: object,
+    radius: int,
+    adjacency: Optional[Dict[object, Set[object]]] = None,
+) -> FrozenSet[object]:
+    """The set of elements at Gaifman distance at most ``radius`` from ``centre``."""
+    distances = gaifman_distance(db, centre, adjacency)
+    return frozenset(v for v, d in distances.items() if d <= radius)
+
+
+def neighborhood(
+    db: Database,
+    centre: object,
+    radius: int,
+    adjacency: Optional[Dict[object, Set[object]]] = None,
+) -> Tuple[Database, object]:
+    """``N_r(centre)``: the induced substructure on the radius-``r`` ball, pointed at the centre."""
+    members = ball(db, centre, radius, adjacency)
+    return db.restrict_domain(members), centre
+
+
+def neighborhood_type(
+    db: Database,
+    centre: object,
+    radius: int,
+    adjacency: Optional[Dict[object, Set[object]]] = None,
+) -> Tuple:
+    """The ``r``-type of ``centre``: a canonical form of its pointed ``r``-neighbourhood."""
+    sub, point = neighborhood(db, centre, radius, adjacency)
+    return canonical_form(sub, (point,))
+
+
+def type_census(db: Database, radius: int) -> Dict[Tuple, int]:
+    """How many elements of ``db`` realise each ``radius``-type.
+
+    The census maps canonical ``r``-types to counts; it is the object the
+    ``≈_{d,m}`` comparison works with.
+    """
+    adjacency = gaifman_adjacency(db)
+    census: Dict[Tuple, int] = {}
+    for element in db.active_domain:
+        key = neighborhood_type(db, element, radius, adjacency)
+        census[key] = census.get(key, 0) + 1
+    return census
+
+
+def same_type_counts(a: Database, b: Database, radius: int) -> bool:
+    """Do ``a`` and ``b`` realise every ``radius``-type exactly the same number of times?
+
+    This is the strong form used for the ``G_{n,n}`` vs ``G_{n-1,n+1}`` claim
+    (equality of counts, not just thresholded equality).
+    """
+    return type_census(a, radius) == type_census(b, radius)
+
+
+def hanf_equivalent(a: Database, b: Database, radius: int, threshold: int) -> bool:
+    """``a ≈_{radius, threshold} b`` in the sense of Fagin–Stockmeyer–Vardi.
+
+    For every ``radius``-type, either both structures have the same number of
+    realisers and that number is below ``threshold``, or both have at least
+    ``threshold`` realisers.
+    """
+    census_a = type_census(a, radius)
+    census_b = type_census(b, radius)
+    for key in set(census_a) | set(census_b):
+        count_a = census_a.get(key, 0)
+        count_b = census_b.get(key, 0)
+        if count_a >= threshold and count_b >= threshold:
+            continue
+        if count_a != count_b:
+            return False
+    return True
+
+
+def degree_bound(db: Database) -> int:
+    """The maximal degree of the Gaifman graph of ``db``."""
+    adjacency = gaifman_adjacency(db)
+    return max((len(neighbours) for neighbours in adjacency.values()), default=0)
+
+
+def hanf_threshold(quantifier_rank: int) -> Tuple[int, int]:
+    """A sufficient ``(d, m)`` pair for sentences of the given quantifier rank.
+
+    Following the paper's use of [17]: ``d = 3^k`` neighbourhoods suffice, and
+    for the bounded-degree tree structures used in the proofs a threshold of
+    ``m = k + 1`` realisers per type is enough (the proofs only ever need
+    "the same number or both large").  The experiments use this pair when
+    checking that the witness families are ``d,m``-equivalent.
+    """
+    if quantifier_rank < 0:
+        raise ValueError("quantifier rank must be non-negative")
+    return 3 ** quantifier_rank, quantifier_rank + 1

@@ -1,0 +1,234 @@
+"""Isomorphism of finite relational structures.
+
+The finite-model-theory arguments of the paper constantly compare structures
+up to isomorphism: Hanf ``r``-types are *isomorphism types* of neighbourhoods,
+the generic enumeration of Theorem 5 needs one representative per isomorphism
+class, and the Ajtai–Fagin game compares coloured graphs.
+
+This module provides
+
+* :func:`are_isomorphic` — decision procedure for isomorphism of two finite
+  databases (optionally with distinguished elements, i.e. pointed structures),
+* :func:`canonical_form` — a canonical, hashable invariant that is *complete*
+  for isomorphism (two structures have equal canonical forms iff they are
+  isomorphic); it is computed by trying all bijections refined by an initial
+  colour partition, so it is meant for the small structures (neighbourhoods,
+  enumeration prefixes) the experiments use.
+
+The implementation refines candidate bijections with iterated degree
+sequences (a 1-dimensional Weisfeiler–Leman colouring) before falling back to
+backtracking, which keeps the common cases fast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+
+__all__ = ["are_isomorphic", "canonical_form", "color_refinement"]
+
+
+def _facts_by_element(db: Database) -> Dict[object, List[Tuple[str, int, Tuple[object, ...]]]]:
+    """For each domain element, the facts it participates in with its positions."""
+    facts: Dict[object, List[Tuple[str, int, Tuple[object, ...]]]] = {
+        v: [] for v in db.active_domain
+    }
+    for name, row in db:
+        for position, value in enumerate(row):
+            facts[value].append((name, position, row))
+    return facts
+
+
+def color_refinement(
+    db: Database,
+    distinguished: Sequence[object] = (),
+    rounds: Optional[int] = None,
+) -> Dict[object, int]:
+    """Iterated colour refinement (1-WL) of the elements of ``db``.
+
+    Starts from a colouring by (is it the i-th distinguished element?,
+    per-relation per-position degree) and refines by multiset of neighbour
+    colours until stable.  The result is an isomorphism-invariant colouring
+    used both to prune isomorphism search and as a cheap invariant.
+    """
+    domain = sorted(db.active_domain, key=repr)
+    if not domain:
+        return {}
+    # initial colour: distinguished index (or -1) plus degree vector
+    initial: Dict[object, Tuple] = {}
+    for v in domain:
+        degree_vector = []
+        for rel in db.schema:
+            rows = db.relation(rel.name)
+            for position in range(rel.arity):
+                degree_vector.append(sum(1 for row in rows if row[position] == v))
+        try:
+            dist_index = list(distinguished).index(v)
+        except ValueError:
+            dist_index = -1
+        initial[v] = (dist_index, tuple(degree_vector))
+    colors = _normalise(initial)
+    max_rounds = rounds if rounds is not None else len(domain)
+    for _ in range(max_rounds):
+        signature: Dict[object, Tuple] = {}
+        for v in domain:
+            neighbour_multiset = []
+            for rel in db.schema:
+                for row in db.relation(rel.name):
+                    if v in row:
+                        neighbour_multiset.append(
+                            (rel.name, tuple(colors[u] for u in row),
+                             tuple(i for i, u in enumerate(row) if u == v))
+                        )
+            signature[v] = (colors[v], tuple(sorted(neighbour_multiset)))
+        refined = _normalise(signature)
+        if refined == colors:
+            break
+        colors = refined
+    return colors
+
+
+def _normalise(raw: Dict[object, Tuple]) -> Dict[object, int]:
+    """Replace arbitrary colour signatures by small consecutive integers."""
+    ordered = sorted(set(raw.values()), key=repr)
+    index = {signature: i for i, signature in enumerate(ordered)}
+    return {v: index[signature] for v, signature in raw.items()}
+
+
+def are_isomorphic(
+    a: Database,
+    b: Database,
+    distinguished_a: Sequence[object] = (),
+    distinguished_b: Sequence[object] = (),
+) -> bool:
+    """Are ``a`` and ``b`` isomorphic (as pointed structures)?
+
+    ``distinguished_a[i]`` must map to ``distinguished_b[i]``; this is what
+    Hanf r-types need (the neighbourhood's centre is a distinguished point).
+    """
+    if a.schema != b.schema:
+        return False
+    if len(distinguished_a) != len(distinguished_b):
+        return False
+    dom_a = sorted(a.active_domain, key=repr)
+    dom_b = sorted(b.active_domain, key=repr)
+    if len(dom_a) != len(dom_b):
+        return False
+    for rel in a.schema:
+        if len(a.relation(rel.name)) != len(b.relation(rel.name)):
+            return False
+    colors_a = color_refinement(a, distinguished_a)
+    colors_b = color_refinement(b, distinguished_b)
+    if sorted(colors_a.values()) != sorted(colors_b.values()):
+        return False
+    # group candidates by colour class
+    candidates: Dict[object, List[object]] = {
+        v: [u for u in dom_b if colors_b[u] == colors_a[v]] for v in dom_a
+    }
+    for v, u in zip(distinguished_a, distinguished_b):
+        if v in candidates:
+            if u not in candidates[v]:
+                return False
+            candidates[v] = [u]
+    order = sorted(dom_a, key=lambda v: len(candidates[v]))
+    return _extend({}, order, candidates, a, b)
+
+
+def _extend(
+    mapping: Dict[object, object],
+    remaining: List[object],
+    candidates: Dict[object, List[object]],
+    a: Database,
+    b: Database,
+) -> bool:
+    if not remaining:
+        return _respects_all(mapping, a, b)
+    v = remaining[0]
+    used = set(mapping.values())
+    for u in candidates[v]:
+        if u in used:
+            continue
+        mapping[v] = u
+        if _consistent_so_far(mapping, a, b) and _extend(mapping, remaining[1:], candidates, a, b):
+            return True
+        del mapping[v]
+    return False
+
+
+def _consistent_so_far(mapping: Dict[object, object], a: Database, b: Database) -> bool:
+    """Partial check: facts entirely inside the mapped part must correspond."""
+    mapped = set(mapping)
+    for rel in a.schema:
+        rows_b = b.relation(rel.name)
+        for row in a.relation(rel.name):
+            if all(value in mapped for value in row):
+                image = tuple(mapping[value] for value in row)
+                if image not in rows_b:
+                    return False
+    return True
+
+
+def _respects_all(mapping: Dict[object, object], a: Database, b: Database) -> bool:
+    """Full check: the bijection maps each relation of ``a`` onto that of ``b``."""
+    for rel in a.schema:
+        image = {tuple(mapping[value] for value in row) for row in a.relation(rel.name)}
+        if image != set(b.relation(rel.name)):
+            return False
+    return True
+
+
+def canonical_form(
+    db: Database, distinguished: Sequence[object] = ()
+) -> Tuple:
+    """A hashable canonical form, equal for two structures iff they are isomorphic.
+
+    The canonical form is the lexicographically smallest encoding of the
+    structure over all relabellings of the domain by ``0..n-1`` that are
+    consistent with the colour-refinement classes (all such relabellings are
+    enumerated, so the form is exact; the refinement only prunes the search).
+    Intended for small structures such as Hanf neighbourhoods.
+    """
+    domain = sorted(db.active_domain, key=repr)
+    n = len(domain)
+    if n == 0:
+        return (tuple(db.schema.relation_names), len(distinguished))
+    colors = color_refinement(db, distinguished)
+    # order domain elements by colour class so permutations respect classes
+    by_color: Dict[int, List[object]] = {}
+    for v in domain:
+        by_color.setdefault(colors[v], []).append(v)
+    color_keys = sorted(by_color)
+    best: Optional[Tuple] = None
+    for permutation in _class_respecting_permutations(by_color, color_keys):
+        labelling = {v: i for i, v in enumerate(permutation)}
+        encoding = _encode(db, labelling, distinguished)
+        if best is None or encoding < best:
+            best = encoding
+    return best  # type: ignore[return-value]
+
+
+def _class_respecting_permutations(
+    by_color: Dict[int, List[object]], color_keys: List[int]
+):
+    """All orderings of the domain that list colour classes in order and permute within."""
+    per_class = [list(itertools.permutations(by_color[key])) for key in color_keys]
+    for choice in itertools.product(*per_class):
+        ordering: List[object] = []
+        for group in choice:
+            ordering.extend(group)
+        yield ordering
+
+
+def _encode(
+    db: Database, labelling: Dict[object, int], distinguished: Sequence[object]
+) -> Tuple:
+    relations = []
+    for rel in db.schema:
+        rows = sorted(
+            tuple(labelling[value] for value in row) for row in db.relation(rel.name)
+        )
+        relations.append((rel.name, tuple(rows)))
+    points = tuple(labelling.get(value, -1) for value in distinguished)
+    return (tuple(relations), points, len(labelling))

@@ -1,0 +1,134 @@
+"""Specification languages: FO, FOc, FOc(Omega), FOcount and monadic Sigma-1-1.
+
+This package implements the paper's specification-language layer: terms and
+formulas, interpreted signatures, model checking (the validity relation
+``D |= alpha``), normal forms and simplification, a concrete-syntax parser,
+a builder DSL with the stock sentences of the paper, counting logic and
+monadic Sigma-1-1 sentences.
+"""
+
+from .terms import Const, Func, Term, TermError, Var, evaluate_term
+from .syntax import (
+    And,
+    Atom,
+    BOTTOM,
+    Bottom,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    FormulaError,
+    Iff,
+    Implies,
+    InterpretedAtom,
+    Not,
+    Or,
+    TOP,
+    Top,
+    make_and,
+    make_or,
+)
+from .signature import (
+    EMPTY_SIGNATURE,
+    InterpretedFunction,
+    InterpretedPredicate,
+    Signature,
+    SignatureError,
+    arithmetic_signature,
+    order_signature,
+    successor_signature,
+)
+from .evaluation import EvaluationError, Model, evaluate, extension, holds_for_all, satisfies
+from .normalform import (
+    eliminate_implications,
+    is_in_nnf,
+    is_quantifier_free,
+    negation_normal_form,
+    prenex_normal_form,
+    simplify,
+)
+from .parser import ParseError, parse, parse_term
+from .rewrite import AtomDefinition, relativize_quantifiers, substitute_atoms
+from . import builder
+from .counting import (
+    EqualCardinalitySentence,
+    ParitySentence,
+    count_satisfying,
+    counting_to_first_order,
+    evaluate_equal_cardinality,
+    evaluate_parity,
+)
+from .monadic import (
+    MonadicSigma11Sentence,
+    all_colorings,
+    color_graph,
+    expand_with_unary_predicates,
+    two_colorability,
+)
+
+__all__ = [
+    "Const",
+    "Func",
+    "Term",
+    "TermError",
+    "Var",
+    "evaluate_term",
+    "And",
+    "Atom",
+    "BOTTOM",
+    "Bottom",
+    "CountingExists",
+    "Eq",
+    "Exists",
+    "Forall",
+    "Formula",
+    "FormulaError",
+    "Iff",
+    "Implies",
+    "InterpretedAtom",
+    "Not",
+    "Or",
+    "TOP",
+    "Top",
+    "make_and",
+    "make_or",
+    "EMPTY_SIGNATURE",
+    "InterpretedFunction",
+    "InterpretedPredicate",
+    "Signature",
+    "SignatureError",
+    "arithmetic_signature",
+    "order_signature",
+    "successor_signature",
+    "EvaluationError",
+    "Model",
+    "evaluate",
+    "extension",
+    "holds_for_all",
+    "satisfies",
+    "eliminate_implications",
+    "is_in_nnf",
+    "is_quantifier_free",
+    "negation_normal_form",
+    "prenex_normal_form",
+    "simplify",
+    "ParseError",
+    "parse",
+    "parse_term",
+    "AtomDefinition",
+    "relativize_quantifiers",
+    "substitute_atoms",
+    "builder",
+    "EqualCardinalitySentence",
+    "ParitySentence",
+    "count_satisfying",
+    "counting_to_first_order",
+    "evaluate_equal_cardinality",
+    "evaluate_parity",
+    "MonadicSigma11Sentence",
+    "all_colorings",
+    "color_graph",
+    "expand_with_unary_predicates",
+    "two_colorability",
+]

@@ -1,0 +1,337 @@
+"""A small DSL for building formulas, plus the stock sentences of the paper.
+
+The module has two halves:
+
+* generic construction helpers (``var``, ``const``, ``atom``, ``exists``,
+  ``forall``, ``exists_unique``, ``at_least``, ``exactly`` ...) that make
+  formulas pleasant to write in examples and tests, and
+* the concrete graph sentences the paper's proofs use over the schema
+  ``{E/2}``: ``psi_cc`` (Lemma 1's definition of C&C-graphs), the
+  isolated-node counting sentences ``alpha_i`` of Claim 3, the chain-length
+  sentences ``p_s`` and ``p0_i`` and the distinct-node sentences ``mu_s`` of
+  Theorem 7, the "graph is a diagonal" and "graph is complete" sentences used
+  around Proposition 1, and the node-activity sentences ``omega_u`` of
+  Proposition 2(b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .syntax import (
+    And,
+    Atom,
+    BOTTOM,
+    Bottom,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TOP,
+    Top,
+    make_and,
+    make_or,
+)
+from .terms import Const, Func, Term, Var
+
+__all__ = [
+    # generic helpers
+    "var",
+    "const",
+    "atom",
+    "E",
+    "eq",
+    "neq",
+    "neg",
+    "conj",
+    "disj",
+    "implies",
+    "iff",
+    "exists",
+    "forall",
+    "exists_unique",
+    "at_least_n_satisfying",
+    "exactly_n_satisfying",
+    "at_least_n_elements",
+    "exactly_n_elements",
+    "all_distinct",
+    # stock graph sentences from the paper
+    "in_degree_at_most_one",
+    "out_degree_at_most_one",
+    "unique_root",
+    "unique_endpoint",
+    "psi_cc",
+    "is_diagonal_sentence",
+    "is_complete_loop_free_sentence",
+    "has_isolated_loop",
+    "isolated_loop_formula",
+    "alpha_isolated_exactly",
+    "chain_length_at_least",
+    "chain_length_exactly",
+    "active_node_sentence",
+    "has_some_edge",
+    "has_nonloop_edge",
+    "totally_connected",
+]
+
+
+# ---------------------------------------------------------------------------
+# generic helpers
+# ---------------------------------------------------------------------------
+
+def var(name: str) -> Var:
+    """A variable term."""
+    return Var(name)
+
+
+def const(value: object) -> Const:
+    """A constant term naming a universe element (the FOc constants)."""
+    return Const(value)
+
+
+def atom(relation: str, *terms: object) -> Atom:
+    """A relation atom; strings become variables, other values constants."""
+    return Atom(relation, *terms)
+
+
+def E(x: object, y: object) -> Atom:
+    """The edge atom ``E(x, y)`` of the graph schema."""
+    return Atom("E", x, y)
+
+
+def eq(left: object, right: object) -> Eq:
+    return Eq(left, right)
+
+
+def neq(left: object, right: object) -> Formula:
+    return Not(Eq(left, right))
+
+
+def neg(formula: Formula) -> Formula:
+    return Not(formula)
+
+
+def conj(*parts: Formula) -> Formula:
+    return make_and(*parts)
+
+
+def disj(*parts: Formula) -> Formula:
+    return make_or(*parts)
+
+
+def implies(premise: Formula, conclusion: Formula) -> Formula:
+    return Implies(premise, conclusion)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    return Iff(left, right)
+
+
+def exists(variables, body: Formula) -> Formula:
+    """``exists x1 ... xn . body`` — accepts a single name or a sequence."""
+    names = [variables] if isinstance(variables, (str, Var)) else list(variables)
+    result = body
+    for name in reversed(names):
+        result = Exists(name if isinstance(name, str) else name.name, result)
+    return result
+
+
+def forall(variables, body: Formula) -> Formula:
+    """``forall x1 ... xn . body`` — accepts a single name or a sequence."""
+    names = [variables] if isinstance(variables, (str, Var)) else list(variables)
+    result = body
+    for name in reversed(names):
+        result = Forall(name if isinstance(name, str) else name.name, result)
+    return result
+
+
+def exists_unique(variable: str, body: Formula) -> Formula:
+    """``exists! x . body``: there is exactly one ``x`` satisfying ``body``."""
+    other = f"{variable}__other"
+    body_other = body.substitute({variable: Var(other)})
+    return Exists(
+        variable,
+        make_and(body, Forall(other, Implies(body_other, Eq(Var(other), Var(variable))))),
+    )
+
+
+def all_distinct(names: Sequence[str]) -> Formula:
+    """Pairwise distinctness of the listed variables."""
+    parts: List[Formula] = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            parts.append(neq(Var(names[i]), Var(names[j])))
+    return make_and(*parts) if parts else TOP
+
+
+def at_least_n_satisfying(n: int, variable: str, body: Formula) -> Formula:
+    """First-order ``there are at least n distinct x with body(x)``.
+
+    Written with ``n`` nested quantifiers (quantifier rank grows with ``n``),
+    which is the classical FO encoding; the ``FOcount`` encoding with a single
+    counting quantifier is :class:`~repro.logic.syntax.CountingExists`.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        return TOP
+    names = [f"{variable}__{i}" for i in range(n)]
+    parts = [body.substitute({variable: Var(name)}) for name in names]
+    return exists(names, make_and(*parts, all_distinct(names)))
+
+
+def exactly_n_satisfying(n: int, variable: str, body: Formula) -> Formula:
+    """First-order ``there are exactly n distinct x with body(x)``."""
+    at_least = at_least_n_satisfying(n, variable, body)
+    more = at_least_n_satisfying(n + 1, variable, body)
+    return make_and(at_least, Not(more))
+
+
+def at_least_n_elements(n: int, variable: str = "x") -> Formula:
+    """``mu_n``: there exist at least ``n`` distinct (active-domain) elements."""
+    return at_least_n_satisfying(n, variable, TOP)
+
+
+def exactly_n_elements(n: int, variable: str = "x") -> Formula:
+    """There are exactly ``n`` distinct active-domain elements."""
+    return exactly_n_satisfying(n, variable, TOP)
+
+
+# ---------------------------------------------------------------------------
+# the paper's stock graph sentences
+# ---------------------------------------------------------------------------
+
+def out_degree_at_most_one() -> Formula:
+    """``forall x y z . E(x,y) & E(x,z) -> z = y`` (out-degrees are at most 1)."""
+    return forall(
+        ["x", "y", "z"],
+        Implies(make_and(E("x", "y"), E("x", "z")), Eq(Var("z"), Var("y"))),
+    )
+
+
+def in_degree_at_most_one() -> Formula:
+    """``forall x y z . E(y,x) & E(z,x) -> z = y`` (in-degrees are at most 1)."""
+    return forall(
+        ["x", "y", "z"],
+        Implies(make_and(E("y", "x"), E("z", "x")), Eq(Var("z"), Var("y"))),
+    )
+
+
+def unique_root() -> Formula:
+    """``exists! x . forall y . ~E(y, x)``: exactly one node with in-degree zero."""
+    return exists_unique("x", forall("y", Not(E("y", "x"))))
+
+
+def unique_endpoint() -> Formula:
+    """``exists! x . forall y . ~E(x, y)``: exactly one node with out-degree zero."""
+    return exists_unique("x", forall("y", Not(E("x", "y"))))
+
+
+def psi_cc() -> Formula:
+    """``psi_C&C`` of Lemma 1: the first-order definition of C&C-graphs.
+
+    A graph is a chain-and-cycle graph iff it has out-degrees and in-degrees
+    at most 1, a unique root (in-degree 0) and a unique endpoint (out-degree
+    0).  (The root then has out-degree 1 and the endpoint in-degree 1 because
+    degrees are bounded by 1 and the graph is finite.)
+    """
+    return make_and(
+        out_degree_at_most_one(),
+        in_degree_at_most_one(),
+        unique_root(),
+        unique_endpoint(),
+    )
+
+
+def is_diagonal_sentence() -> Formula:
+    """Every edge is a loop and every active node has its loop."""
+    only_loops = forall(["x", "y"], Implies(E("x", "y"), Eq(Var("x"), Var("y"))))
+    every_node_looped = forall(
+        ["x", "y"],
+        Implies(make_or(E("x", "y"), E("y", "x")), E("x", "x")),
+    )
+    return make_and(only_loops, every_node_looped)
+
+
+def is_complete_loop_free_sentence() -> Formula:
+    """The graph is the complete loop-free graph on its active domain."""
+    no_loops = forall("x", Not(E("x", "x")))
+    complete = forall(
+        ["x", "y"],
+        Implies(Not(Eq(Var("x"), Var("y"))), E("x", "y")),
+    )
+    return make_and(no_loops, complete)
+
+
+def isolated_loop_formula(variable: str = "x") -> Formula:
+    """``x`` has a loop and no other incident edge (an "isolated node" of sg images)."""
+    y = f"{variable}__y"
+    return make_and(
+        E(variable, variable),
+        forall(
+            y,
+            Implies(
+                make_or(E(variable, y), E(y, variable)),
+                Eq(Var(y), Var(variable)),
+            ),
+        ),
+    )
+
+
+def has_isolated_loop() -> Formula:
+    """``alpha_1`` of Theorem 3: there is a unique isolated (looped) node."""
+    return exists_unique("x", isolated_loop_formula("x"))
+
+
+def alpha_isolated_exactly(i: int) -> Formula:
+    """``alpha_i`` of Claim 3 (Theorem 2): exactly ``i`` isolated looped nodes."""
+    return exactly_n_satisfying(i, "x", isolated_loop_formula("x"))
+
+
+def chain_length_at_least(s: int) -> Formula:
+    """``p_s`` of Theorem 7: the chain component of a C&C graph has >= s nodes.
+
+    ``p_s = exists y1 ... ys . (forall z . ~E(z, y1)) & E(y1, y2) & ... & E(y_{s-1}, y_s)``.
+    For ``s <= 1`` the sentence is trivially true on C&C graphs (their chain has
+    at least 2 nodes), so ``TOP`` is returned.
+    """
+    if s <= 1:
+        return TOP
+    names = [f"y{i}" for i in range(1, s + 1)]
+    root_condition = forall("z", Not(E("z", names[0])))
+    steps = [E(names[i], names[i + 1]) for i in range(s - 1)]
+    return exists(names, make_and(root_condition, *steps))
+
+
+def chain_length_exactly(i: int) -> Formula:
+    """``p0_i`` of Theorem 7: the chain component has exactly ``i`` nodes."""
+    return make_and(chain_length_at_least(i), Not(chain_length_at_least(i + 1)))
+
+
+def active_node_sentence(u: object) -> Formula:
+    """``omega_u`` of Proposition 2(b): node ``u`` has an incoming or outgoing edge."""
+    return exists("x", make_or(E("x", Const(u)), E(Const(u), "x")))
+
+
+def has_some_edge() -> Formula:
+    """``exists x y . E(x, y)``."""
+    return exists(["x", "y"], E("x", "y"))
+
+
+def has_nonloop_edge() -> Formula:
+    """``exists x y . E(x, y) & x != y``."""
+    return exists(["x", "y"], make_and(E("x", "y"), neq(Var("x"), Var("y"))))
+
+
+def totally_connected() -> Formula:
+    """``forall x y . E(x, y)`` — the constraint used in Claim 1 of Theorem 2.
+
+    Its weakest precondition under transitive closure would define
+    connectivity, which is how the paper shows ``tc`` has no FO precondition.
+    """
+    return forall(["x", "y"], E("x", "y"))

@@ -1,0 +1,259 @@
+"""Model checking: the validity relation ``D |= alpha``.
+
+Quantifiers range over the *active domain* of the database (active-domain
+semantics), which is the standard convention for integrity constraints over
+finite databases with an infinite underlying universe and the one the paper's
+constructions rely on.  Constants of ``FOc`` / ``FOc(Omega)`` are names for
+universe elements and may appear in atoms and (in)equalities whether or not
+the named element occurs in the database; they do *not* enlarge the
+quantification domain.  (A caller that wants a larger quantification domain —
+e.g. ``Gamma(D)`` — passes it explicitly via the ``domain`` argument.)
+
+Using one uniform convention everywhere is what makes the weakest-precondition
+round trips exact: ``D |= wpc(T, alpha)`` and ``T(D) |= alpha`` are both
+evaluated under active-domain semantics of the respective database.
+
+The evaluator is a straightforward recursive interpreter.  It is exponential
+in the quantifier depth (``|domain|^rank`` assignments in the worst case),
+which is the expected cost of first-order model checking and is entirely
+adequate for the graph sizes used in the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+from ..db.database import Database
+from .signature import EMPTY_SIGNATURE, Signature, SignatureError
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    FormulaError,
+    Iff,
+    Implies,
+    InterpretedAtom,
+    Not,
+    Or,
+    Top,
+)
+from .terms import evaluate_term
+
+__all__ = ["EvaluationError", "Model", "evaluate", "satisfies", "holds_for_all", "extension"]
+
+
+class EvaluationError(RuntimeError):
+    """Raised when a formula cannot be evaluated (missing symbols, free variables...)."""
+
+
+class Model:
+    """A database together with a signature and a quantification domain.
+
+    Parameters
+    ----------
+    db:
+        The finite database.
+    signature:
+        Interpretations for the ``Omega`` symbols used by the formula
+        (defaults to the empty signature: pure FO / FOc).
+    domain:
+        The set over which quantifiers range.  Defaults to the active domain
+        of ``db`` (active-domain semantics); pass a larger set explicitly to
+        quantify over e.g. ``Gamma(D)``.
+    """
+
+    __slots__ = ("db", "signature", "_base_domain")
+
+    def __init__(
+        self,
+        db: Database,
+        signature: Signature = EMPTY_SIGNATURE,
+        domain: Optional[Iterable[object]] = None,
+    ):
+        self.db = db
+        self.signature = signature
+        self._base_domain: FrozenSet[object] = (
+            frozenset(domain) if domain is not None else db.active_domain
+        )
+
+    def domain_for(self, formula: Formula) -> FrozenSet[object]:
+        """The quantification domain when checking ``formula`` (active-domain semantics)."""
+        return self._base_domain
+
+    # -- checking ----------------------------------------------------------------
+
+    def check(
+        self, formula: Formula, assignment: Optional[Mapping[str, object]] = None
+    ) -> bool:
+        """Evaluate ``formula`` in this model under ``assignment``."""
+        env = dict(assignment or {})
+        missing = formula.free_variables() - set(env)
+        if missing:
+            raise EvaluationError(
+                f"formula has unassigned free variables {sorted(missing)}"
+            )
+        domain = self.domain_for(formula)
+        return self._eval(formula, env, domain)
+
+    def extension(self, formula: Formula, variables: Sequence[str]) -> Set[Tuple[object, ...]]:
+        """All tuples ``(d1, ..., dk)`` over the domain with ``D |= formula[d/x]``.
+
+        The formula's free variables must all be listed in ``variables``;
+        extra listed variables are allowed and simply range over the domain.
+        """
+        domain = sorted(self.domain_for(formula), key=repr)
+        free = formula.free_variables()
+        unknown = free - set(variables)
+        if unknown:
+            raise EvaluationError(
+                f"extension over {list(variables)} leaves variables {sorted(unknown)} free"
+            )
+        result: Set[Tuple[object, ...]] = set()
+        variables = list(variables)
+
+        def rec(index: int, env: Dict[str, object], prefix: Tuple[object, ...]) -> None:
+            if index == len(variables):
+                if self._eval(formula, env, frozenset(domain)):
+                    result.add(prefix)
+                return
+            var = variables[index]
+            for value in domain:
+                env[var] = value
+                rec(index + 1, env, prefix + (value,))
+            env.pop(var, None)
+
+        rec(0, {}, tuple())
+        return result
+
+    # -- the interpreter -----------------------------------------------------------
+
+    def _eval(
+        self, formula: Formula, env: Dict[str, object], domain: FrozenSet[object]
+    ) -> bool:
+        if isinstance(formula, Top):
+            return True
+        if isinstance(formula, Bottom):
+            return False
+        if isinstance(formula, Atom):
+            values = tuple(
+                evaluate_term(t, env, self.signature.functions_mapping())
+                for t in formula.terms
+            )
+            try:
+                return values in self.db.relation(formula.relation)
+            except Exception as exc:  # unknown relation
+                raise EvaluationError(str(exc)) from exc
+        if isinstance(formula, Eq):
+            funcs = self.signature.functions_mapping()
+            return evaluate_term(formula.left, env, funcs) == evaluate_term(
+                formula.right, env, funcs
+            )
+        if isinstance(formula, InterpretedAtom):
+            try:
+                predicate = self.signature.predicate(formula.symbol)
+            except SignatureError as exc:
+                raise EvaluationError(str(exc)) from exc
+            values = tuple(
+                evaluate_term(t, env, self.signature.functions_mapping())
+                for t in formula.terms
+            )
+            return predicate(*values)
+        if isinstance(formula, Not):
+            return not self._eval(formula.body, env, domain)
+        if isinstance(formula, And):
+            return all(self._eval(part, env, domain) for part in formula.parts)
+        if isinstance(formula, Or):
+            return any(self._eval(part, env, domain) for part in formula.parts)
+        if isinstance(formula, Implies):
+            return (not self._eval(formula.premise, env, domain)) or self._eval(
+                formula.conclusion, env, domain
+            )
+        if isinstance(formula, Iff):
+            return self._eval(formula.left, env, domain) == self._eval(
+                formula.right, env, domain
+            )
+        if isinstance(formula, Exists):
+            saved = env.get(formula.variable, _MISSING)
+            for value in domain:
+                env[formula.variable] = value
+                if self._eval(formula.body, env, domain):
+                    _restore(env, formula.variable, saved)
+                    return True
+            _restore(env, formula.variable, saved)
+            return False
+        if isinstance(formula, Forall):
+            saved = env.get(formula.variable, _MISSING)
+            for value in domain:
+                env[formula.variable] = value
+                if not self._eval(formula.body, env, domain):
+                    _restore(env, formula.variable, saved)
+                    return False
+            _restore(env, formula.variable, saved)
+            return True
+        if isinstance(formula, CountingExists):
+            saved = env.get(formula.variable, _MISSING)
+            count = 0
+            for value in domain:
+                env[formula.variable] = value
+                if self._eval(formula.body, env, domain):
+                    count += 1
+                    if count >= formula.count:
+                        break
+            _restore(env, formula.variable, saved)
+            return count >= formula.count
+        raise EvaluationError(f"cannot evaluate formula of type {type(formula).__name__}")
+
+
+_MISSING = object()
+
+
+def _restore(env: Dict[str, object], variable: str, saved: object) -> None:
+    if saved is _MISSING:
+        env.pop(variable, None)
+    else:
+        env[variable] = saved
+
+
+# ---------------------------------------------------------------------------
+# module-level conveniences
+# ---------------------------------------------------------------------------
+
+def evaluate(
+    formula: Formula,
+    db: Database,
+    assignment: Optional[Mapping[str, object]] = None,
+    signature: Signature = EMPTY_SIGNATURE,
+    domain: Optional[Iterable[object]] = None,
+) -> bool:
+    """``D |= formula`` (under ``assignment`` for free variables)."""
+    return Model(db, signature, domain).check(formula, assignment)
+
+
+def satisfies(db: Database, formula: Formula, **kwargs) -> bool:
+    """Flipped-argument alias of :func:`evaluate`, reading like ``D |= alpha``."""
+    return evaluate(formula, db, **kwargs)
+
+
+def holds_for_all(
+    formula: Formula,
+    databases: Iterable[Database],
+    signature: Signature = EMPTY_SIGNATURE,
+) -> bool:
+    """Does the sentence hold in every database of the (finite) collection?"""
+    return all(evaluate(formula, db, signature=signature) for db in databases)
+
+
+def extension(
+    formula: Formula,
+    db: Database,
+    variables: Sequence[str],
+    signature: Signature = EMPTY_SIGNATURE,
+    domain: Optional[Iterable[object]] = None,
+) -> Set[Tuple[object, ...]]:
+    """The set of tuples satisfying ``formula`` in ``db`` (active-domain semantics)."""
+    return Model(db, signature, domain).extension(formula, variables)

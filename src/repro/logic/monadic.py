@@ -1,0 +1,164 @@
+"""Monadic Σ¹₁ (existential monadic second-order logic).
+
+A monadic Σ¹₁ sentence has the form ``exists A1 ... exists Ak . psi`` where
+the ``A_i`` are unary (monadic) predicate variables and ``psi`` is a
+first-order sentence over the schema extended with ``A1, ..., Ak``.  The
+classic example is graph 2-colourability; the paper uses the logic as one of
+its "more powerful" specification languages in Theorem 3.
+
+Evaluation is by brute force over all interpretations of the set variables —
+``2^(k * |dom|)`` candidates — so only small structures are practical, which
+is all the experiments need (the theorem's content is *negative* and is
+demonstrated on the small cycle families of the Ajtai–Fagin argument).
+
+The module also provides *colored graphs*: a database extended with a fixed
+colouring, which is the Step 2/3 object of the Ajtai–Fagin game implemented in
+:mod:`repro.fmt.ajtai_fagin`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.schema import RelationSchema, Schema
+from .evaluation import Model, evaluate
+from .signature import EMPTY_SIGNATURE, Signature
+from .syntax import Formula
+
+__all__ = [
+    "MonadicSigma11Sentence",
+    "expand_with_unary_predicates",
+    "color_graph",
+    "all_colorings",
+    "two_colorability",
+]
+
+
+def expand_with_unary_predicates(schema: Schema, names: Sequence[str]) -> Schema:
+    """Extend ``schema`` with fresh unary predicates ``names``."""
+    extra = [RelationSchema(name, 1) for name in names]
+    return schema.extend(*extra)
+
+
+def color_graph(
+    db: Database, coloring: Dict[object, int], num_colors: int, prefix: str = "U"
+) -> Database:
+    """Encode a node colouring as unary relations ``U1, ..., Uc`` on top of ``db``.
+
+    ``coloring`` maps each node to a colour index ``0 <= i < num_colors``.
+    Nodes missing from the mapping are left uncoloured (they belong to no
+    ``U_i``), which the Ajtai–Fagin game formalism allows.
+    """
+    names = [f"{prefix}{i + 1}" for i in range(num_colors)]
+    schema = expand_with_unary_predicates(db.schema, names)
+    relations = {name: list(rows) for name, rows in db.relations().items()}
+    for i, name in enumerate(names):
+        relations[name] = [(node,) for node, colour in coloring.items() if colour == i]
+    return Database(schema, relations)
+
+
+def all_colorings(
+    nodes: Sequence[object], num_colors: int
+) -> Iterable[Dict[object, int]]:
+    """Every function from ``nodes`` to ``{0, ..., num_colors - 1}``."""
+    nodes = list(nodes)
+    for assignment in itertools.product(range(num_colors), repeat=len(nodes)):
+        yield dict(zip(nodes, assignment))
+
+
+class MonadicSigma11Sentence:
+    """``exists A1 ... Ak . psi`` with ``psi`` first-order over ``schema + A_i``.
+
+    Parameters
+    ----------
+    set_variables:
+        Names of the monadic second-order variables (must not clash with
+        schema relations).
+    matrix:
+        The first-order sentence ``psi``; it may use each ``A_i`` as a unary
+        relation symbol.
+    signature:
+        Optional interpreted signature for the first-order part.
+    """
+
+    def __init__(
+        self,
+        set_variables: Sequence[str],
+        matrix: Formula,
+        signature: Signature = EMPTY_SIGNATURE,
+    ):
+        self.set_variables = tuple(set_variables)
+        if len(set(self.set_variables)) != len(self.set_variables):
+            raise ValueError("duplicate set-variable names")
+        self.matrix = matrix
+        self.signature = signature
+        if not matrix.is_sentence():
+            raise ValueError("the first-order matrix must be a sentence")
+
+    def holds(self, db: Database) -> bool:
+        """``D |= exists A1 ... Ak . psi`` by enumerating all set interpretations."""
+        base_schema = db.schema
+        clash = set(self.set_variables) & set(base_schema.relation_names)
+        if clash:
+            raise ValueError(f"set variables {sorted(clash)} clash with schema relations")
+        schema = expand_with_unary_predicates(base_schema, self.set_variables)
+        domain = sorted(db.active_domain, key=repr)
+        base_relations = {name: list(rows) for name, rows in db.relations().items()}
+        for subsets in itertools.product(
+            *(_all_subsets(domain) for _ in self.set_variables)
+        ):
+            relations = dict(base_relations)
+            for name, subset in zip(self.set_variables, subsets):
+                relations[name] = [(node,) for node in subset]
+            extended = Database(schema, relations)
+            if evaluate(self.matrix, extended, signature=self.signature):
+                return True
+        return False
+
+    def witness(self, db: Database) -> Optional[Dict[str, FrozenSet[object]]]:
+        """Return a witnessing interpretation of the set variables, or ``None``."""
+        base_schema = db.schema
+        schema = expand_with_unary_predicates(base_schema, self.set_variables)
+        domain = sorted(db.active_domain, key=repr)
+        base_relations = {name: list(rows) for name, rows in db.relations().items()}
+        for subsets in itertools.product(
+            *(_all_subsets(domain) for _ in self.set_variables)
+        ):
+            relations = dict(base_relations)
+            for name, subset in zip(self.set_variables, subsets):
+                relations[name] = [(node,) for node in subset]
+            extended = Database(schema, relations)
+            if evaluate(self.matrix, extended, signature=self.signature):
+                return {
+                    name: frozenset(subset)
+                    for name, subset in zip(self.set_variables, subsets)
+                }
+        return None
+
+    def __repr__(self) -> str:
+        prefix = " ".join(f"exists {name}" for name in self.set_variables)
+        return f"MonadicSigma11({prefix} . {self.matrix})"
+
+
+def _all_subsets(elements: Sequence[object]) -> List[Tuple[object, ...]]:
+    subsets: List[Tuple[object, ...]] = []
+    for r in range(len(elements) + 1):
+        subsets.extend(itertools.combinations(elements, r))
+    return subsets
+
+
+def two_colorability(edge_relation: str = "E") -> MonadicSigma11Sentence:
+    """The classic monadic Σ¹₁ sentence: the graph is (undirected-)2-colourable.
+
+    ``exists A . forall x forall y . E(x, y) -> (A(x) <-> ~A(y))``
+    """
+    from .builder import E, forall, iff, implies, neg
+    from .syntax import Atom
+
+    matrix = forall(
+        ["x", "y"],
+        implies(Atom(edge_relation, "x", "y"), iff(Atom("A", "x"), neg(Atom("A", "y")))),
+    )
+    return MonadicSigma11Sentence(["A"], matrix)

@@ -1,0 +1,319 @@
+"""A text parser for first-order formulas.
+
+Integrity constraints are usually written down by people; the examples and
+some tests use a concrete syntax instead of building ASTs by hand.  The
+grammar (EBNF, lowest to highest precedence):
+
+.. code-block:: text
+
+    formula     := iff
+    iff         := implies ( "<->" implies )*
+    implies     := or ( "->" or )*            (right associative)
+    or          := and ( ("|" | "or") and )*
+    and         := unary ( ("&" | "and") unary )*
+    unary       := ("~" | "not") unary
+                 | quantifier
+                 | primary
+    quantifier  := ("exists" | "forall") var+ "." unary
+                 | "exists>=" NUMBER var "." unary
+    primary     := "true" | "false"
+                 | "(" formula ")"
+                 | term "=" term | term "!=" term
+                 | NAME "(" term ("," term)* ")"
+    term        := NAME ("(" term ("," term)* ")")?     (function application)
+                 | NUMBER                                (integer constant)
+                 | "'" CHARS "'"                         (string constant)
+
+Identifiers starting with a lowercase letter are variables; identifiers
+starting with an uppercase letter are relation symbols when used as atoms.
+Functions and interpreted predicates are recognised by an optional set of
+known symbol names passed to :func:`parse`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .syntax import (
+    Atom,
+    BOTTOM,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    InterpretedAtom,
+    Not,
+    TOP,
+    make_and,
+    make_or,
+)
+from .terms import Const, Func, Term, Var
+
+__all__ = ["ParseError", "parse", "parse_term"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<counting>exists>=\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<number>-?\d+)
+  | (?P<string>'[^']*')
+  | (?P<op><->|->|!=|=|\(|\)|,|\.|~|&|\|)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "not", "and", "or", "true", "false"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: Sequence[str], predicates: Set[str], functions: Set[str]):
+        self.tokens = list(tokens)
+        self.position = 0
+        self.predicates = predicates
+        self.functions = functions
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        actual = self.advance()
+        if actual != token:
+            raise ParseError(f"expected {token!r}, found {actual!r}")
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self.parse_iff()
+
+    def parse_iff(self) -> Formula:
+        left = self.parse_implies()
+        while self.peek() == "<->":
+            self.advance()
+            right = self.parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.peek() == "->":
+            self.advance()
+            right = self.parse_implies()  # right associative
+            return Implies(left, right)
+        return left
+
+    def parse_or(self) -> Formula:
+        parts = [self.parse_and()]
+        while self.peek() in ("|", "or"):
+            self.advance()
+            parts.append(self.parse_and())
+        return make_or(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_and(self) -> Formula:
+        parts = [self.parse_unary()]
+        while self.peek() in ("&", "and"):
+            self.advance()
+            parts.append(self.parse_unary())
+        return make_and(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token in ("~", "not"):
+            self.advance()
+            return Not(self.parse_unary())
+        if token in ("exists", "forall"):
+            return self.parse_quantifier()
+        if token is not None and token.startswith("exists>="):
+            return self.parse_counting()
+        return self.parse_primary()
+
+    def parse_quantifier(self) -> Formula:
+        kind = self.advance()
+        variables: List[str] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("unexpected end of input in quantifier")
+            if token == ".":
+                break
+            if not re.fullmatch(r"[a-z_][A-Za-z_0-9]*", token):
+                raise ParseError(f"expected a variable name in quantifier, found {token!r}")
+            variables.append(self.advance())
+        if not variables:
+            raise ParseError("quantifier binds no variables")
+        self.expect(".")
+        # The dot gives the quantifier maximal scope: its body extends to the
+        # end of the enclosing formula (or closing parenthesis).
+        body = self.parse_formula()
+        constructor = Exists if kind == "exists" else Forall
+        for name in reversed(variables):
+            body = constructor(name, body)
+        return body
+
+    def parse_counting(self) -> Formula:
+        token = self.advance()
+        count = int(token[len("exists>="):])
+        variable = self.advance()
+        if not re.fullmatch(r"[a-z_][A-Za-z_0-9]*", variable):
+            raise ParseError(f"expected a variable after {token!r}, found {variable!r}")
+        self.expect(".")
+        body = self.parse_formula()
+        return CountingExists(variable, count, body)
+
+    def parse_primary(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        if token == "true":
+            self.advance()
+            return TOP
+        if token == "false":
+            self.advance()
+            return BOTTOM
+        if token == "(":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect(")")
+            return inner
+        # an atom `Name(...)` or an (in)equality between terms
+        start = self.position
+        term = self.parse_term(allow_atom=True)
+        if isinstance(term, _PendingAtom):
+            return term.to_formula(self)
+        nxt = self.peek()
+        if nxt == "=":
+            self.advance()
+            right = self.parse_term()
+            return Eq(term, right)
+        if nxt == "!=":
+            self.advance()
+            right = self.parse_term()
+            return Not(Eq(term, right))
+        self.position = start
+        raise ParseError(f"expected an atom or (in)equality near {token!r}")
+
+    # -- terms ----------------------------------------------------------------------
+
+    def parse_term(self, allow_atom: bool = False) -> Term:
+        token = self.advance()
+        if re.fullmatch(r"-?\d+", token):
+            return Const(int(token))
+        if token.startswith("'") and token.endswith("'"):
+            return Const(token[1:-1])
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) or token in _KEYWORDS:
+            raise ParseError(f"expected a term, found {token!r}")
+        name = token
+        if self.peek() == "(":
+            self.advance()
+            args: List[Term] = [self.parse_term()]
+            while self.peek() == ",":
+                self.advance()
+                args.append(self.parse_term())
+            self.expect(")")
+            if allow_atom and (name[0].isupper() or name in self.predicates) and name not in self.functions:
+                return _PendingAtom(name, tuple(args), name in self.predicates)
+            return Func(name, *args)
+        if name[0].isupper() and name not in self.functions:
+            # Uppercase bare identifiers are constants by convention.
+            return Const(name)
+        return Var(name)
+
+
+class _PendingAtom(Term):
+    """Internal marker: a parsed ``Name(args)`` that is an atom, not a term."""
+
+    def __init__(self, name: str, args: Tuple[Term, ...], interpreted: bool):
+        self.name = name
+        self.args = args
+        self.interpreted = interpreted
+
+    def to_formula(self, parser: _Parser) -> Formula:
+        if self.interpreted:
+            return InterpretedAtom(self.name, *self.args)
+        return Atom(self.name, *self.args)
+
+    # Term interface stubs (never used: _PendingAtom is consumed immediately).
+    def free_variables(self):  # pragma: no cover
+        raise ParseError(f"{self.name!r} is a relation symbol, not a term")
+
+    def substitute(self, mapping):  # pragma: no cover
+        raise ParseError(f"{self.name!r} is a relation symbol, not a term")
+
+    def constants(self):  # pragma: no cover
+        raise ParseError(f"{self.name!r} is a relation symbol, not a term")
+
+    def function_symbols(self):  # pragma: no cover
+        raise ParseError(f"{self.name!r} is a relation symbol, not a term")
+
+    def depth(self):  # pragma: no cover
+        raise ParseError(f"{self.name!r} is a relation symbol, not a term")
+
+
+def parse(
+    text: str,
+    predicates: Iterable[str] = (),
+    functions: Iterable[str] = (),
+) -> Formula:
+    """Parse ``text`` into a :class:`~repro.logic.syntax.Formula`.
+
+    ``predicates`` and ``functions`` name the interpreted (Omega) symbols so
+    the parser can distinguish ``even(x)`` (interpreted atom) from ``R(x)``
+    (schema atom) and ``succ(x)`` (function term).
+    """
+    parser = _Parser(_tokenize(text), set(predicates), set(functions))
+    formula = parser.parse_formula()
+    if not parser.at_end():
+        raise ParseError(f"unexpected trailing input starting at {parser.peek()!r}")
+    return formula
+
+
+def parse_term(text: str, functions: Iterable[str] = ()) -> Term:
+    """Parse a single term (used when specifying the Gamma set of prerelations).
+
+    Applications of undeclared uppercase symbols are treated as relation atoms
+    and rejected — declare function symbols via ``functions`` to use them here.
+    """
+    parser = _Parser(_tokenize(text), set(), set(functions))
+    term = parser.parse_term(allow_atom=True)
+    if not parser.at_end():
+        raise ParseError(f"unexpected trailing input starting at {parser.peek()!r}")
+    if isinstance(term, _PendingAtom):
+        raise ParseError(f"{term.name!r} parses as an atom, not a term")
+    return term

@@ -1,0 +1,125 @@
+"""Formula rewriting: atom substitution and quantifier relativisation.
+
+Two syntactic transformations drive the weakest-precondition machinery:
+
+* **Atom substitution** (:func:`substitute_atoms`): replace every database
+  atom ``R(t1, ..., tn)`` by a supplied defining formula ``phi_R[x := t]``.
+  If ``phi_R`` describes the contents of ``R`` *after* a transaction in terms
+  of the *old* database, substituting it through a constraint turns a
+  post-state constraint into a pre-state constraint — the heart of the
+  ``PR(L) ⊆ WPC(L)`` inclusion and of the Theorem 8 algorithm.
+
+* **Quantifier relativisation** (:func:`relativize_quantifiers`): restrict
+  every quantifier to a definable sub-domain (e.g. the set ``Gamma(D)`` of
+  values reachable by the prerelation terms).  Theorem 8's algorithm
+  relativises the constraint's quantifiers to ``Gamma(D)`` because the
+  post-state's active domain lives inside ``Gamma(D)``.
+
+Both transformations are capture-avoiding: the defining formulas'/guards'
+bound variables are freshened as needed because substitution of terms into
+them goes through :meth:`~repro.logic.syntax.Formula.substitute`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from .syntax import (
+    Atom,
+    CountingExists,
+    Exists,
+    Forall,
+    Formula,
+    FormulaError,
+    make_and,
+)
+from .terms import Term, Var
+
+__all__ = ["AtomDefinition", "substitute_atoms", "relativize_quantifiers"]
+
+
+class AtomDefinition:
+    """A defining formula for a relation: ``R(x1, ..., xn) := body``.
+
+    ``variables`` lists the formal parameters (distinct variable names) and
+    ``body`` is a formula whose free variables are among them.
+    """
+
+    def __init__(self, variables: Sequence[str], body: Formula):
+        names = list(variables)
+        if len(set(names)) != len(names):
+            raise FormulaError("atom definition parameters must be distinct")
+        free = body.free_variables()
+        extra = free - set(names)
+        if extra:
+            raise FormulaError(
+                f"atom definition body has free variables {sorted(extra)} outside its parameters"
+            )
+        self.variables: Tuple[str, ...] = tuple(names)
+        self.body = body
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+    def instantiate(self, terms: Sequence[Term]) -> Formula:
+        """``body[x1 := t1, ..., xn := tn]``."""
+        if len(terms) != len(self.variables):
+            raise FormulaError(
+                f"definition of arity {len(self.variables)} instantiated with {len(terms)} terms"
+            )
+        mapping: Dict[str, Term] = dict(zip(self.variables, terms))
+        return self.body.substitute(mapping)
+
+    def __repr__(self) -> str:
+        params = ", ".join(self.variables)
+        return f"AtomDefinition(({params}) := {self.body})"
+
+
+def substitute_atoms(
+    formula: Formula, definitions: Mapping[str, AtomDefinition]
+) -> Formula:
+    """Replace every atom ``R(t...)`` with ``definitions[R]`` instantiated at ``t...``.
+
+    Atoms over relations without a definition are left untouched.
+    """
+    if isinstance(formula, Atom):
+        definition = definitions.get(formula.relation)
+        if definition is None:
+            return formula
+        return definition.instantiate(formula.terms)
+    return formula.map_children(lambda child: substitute_atoms(child, definitions))
+
+
+def relativize_quantifiers(
+    formula: Formula, guard: Callable[[str], Formula]
+) -> Formula:
+    """Relativise every first-order quantifier to the guard of its variable.
+
+    ``guard(x)`` must return a formula with (at most) the free variable ``x``
+    describing the admissible values.  ``exists x . phi`` becomes
+    ``exists x . guard(x) & phi'`` and ``forall x . phi`` becomes
+    ``forall x . guard(x) -> phi'``.  Counting quantifiers are relativised
+    like existentials (count only guarded witnesses).
+    """
+    if isinstance(formula, Exists):
+        return Exists(
+            formula.variable,
+            make_and(guard(formula.variable),
+                     relativize_quantifiers(formula.body, guard)),
+        )
+    if isinstance(formula, Forall):
+        return Forall(
+            formula.variable,
+            guard(formula.variable).implies(
+                relativize_quantifiers(formula.body, guard)
+            ),
+        )
+    if isinstance(formula, CountingExists):
+        return CountingExists(
+            formula.variable,
+            formula.count,
+            make_and(guard(formula.variable),
+                     relativize_quantifiers(formula.body, guard)),
+        )
+    return formula.map_children(lambda child: relativize_quantifiers(child, guard))

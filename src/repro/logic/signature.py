@@ -1,0 +1,231 @@
+"""Interpreted signatures ``Omega``.
+
+``FOc(Omega)`` is first-order logic over the relational schema supplemented
+with constant symbols for all universe elements and a *recursive collection
+of recursive functions and predicates* ``Omega`` over the universe.  In this
+reproduction an :class:`Omega` (called :class:`Signature` here) is a named
+collection of Python callables: total functions ``U^k -> U`` and total
+predicates ``U^k -> bool``.
+
+Signatures support *extension* (``Omega' ⊇ Omega``), which is what robust
+verifiability (Section 5) quantifies over: a transaction is robustly
+verifiable over ``FOc(Omega)`` if it stays verifiable over ``FOc(Omega')``
+for every extension ``Omega'``.  :mod:`repro.core.robust` uses the stock
+extensions defined at the bottom of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+__all__ = [
+    "SignatureError",
+    "InterpretedFunction",
+    "InterpretedPredicate",
+    "Signature",
+    "EMPTY_SIGNATURE",
+    "arithmetic_signature",
+    "successor_signature",
+    "order_signature",
+]
+
+
+class SignatureError(ValueError):
+    """Raised for malformed signatures."""
+
+
+@dataclass(frozen=True)
+class InterpretedFunction:
+    """A named total recursive function over the universe."""
+
+    name: str
+    arity: int
+    implementation: Callable[..., object]
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SignatureError(f"function {self.name!r} has negative arity")
+
+    def __call__(self, *args: object) -> object:
+        if len(args) != self.arity:
+            raise SignatureError(
+                f"function {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        return self.implementation(*args)
+
+
+@dataclass(frozen=True)
+class InterpretedPredicate:
+    """A named total recursive predicate over the universe."""
+
+    name: str
+    arity: int
+    implementation: Callable[..., bool]
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SignatureError(f"predicate {self.name!r} has negative arity")
+
+    def __call__(self, *args: object) -> bool:
+        if len(args) != self.arity:
+            raise SignatureError(
+                f"predicate {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        return bool(self.implementation(*args))
+
+
+class Signature:
+    """A collection ``Omega`` of interpreted functions and predicates.
+
+    Immutable; :meth:`extend` returns a new, larger signature.
+    """
+
+    __slots__ = ("_functions", "_predicates", "name")
+
+    def __init__(
+        self,
+        functions: Iterable[InterpretedFunction] = (),
+        predicates: Iterable[InterpretedPredicate] = (),
+        name: str = "Omega",
+    ):
+        funcs: Dict[str, InterpretedFunction] = {}
+        preds: Dict[str, InterpretedPredicate] = {}
+        for fn in functions:
+            if fn.name in funcs:
+                raise SignatureError(f"duplicate function symbol {fn.name!r}")
+            funcs[fn.name] = fn
+        for pred in predicates:
+            if pred.name in preds:
+                raise SignatureError(f"duplicate predicate symbol {pred.name!r}")
+            if pred.name in funcs:
+                raise SignatureError(
+                    f"symbol {pred.name!r} used for both a function and a predicate"
+                )
+            preds[pred.name] = pred
+        self._functions = funcs
+        self._predicates = preds
+        self.name = name
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def function_symbols(self) -> FrozenSet[str]:
+        return frozenset(self._functions)
+
+    @property
+    def predicate_symbols(self) -> FrozenSet[str]:
+        return frozenset(self._predicates)
+
+    @property
+    def symbols(self) -> FrozenSet[str]:
+        return self.function_symbols | self.predicate_symbols
+
+    def function(self, name: str) -> InterpretedFunction:
+        try:
+            return self._functions[name]
+        except KeyError as exc:
+            raise SignatureError(f"no function symbol {name!r} in signature") from exc
+
+    def predicate(self, name: str) -> InterpretedPredicate:
+        try:
+            return self._predicates[name]
+        except KeyError as exc:
+            raise SignatureError(f"no predicate symbol {name!r} in signature") from exc
+
+    def functions_mapping(self) -> Mapping[str, Callable[..., object]]:
+        """Mapping used by :func:`repro.logic.terms.evaluate_term`."""
+        return {name: fn for name, fn in self._functions.items()}
+
+    def has_symbol(self, name: str) -> bool:
+        return name in self._functions or name in self._predicates
+
+    def covers(self, symbols: Iterable[str]) -> bool:
+        """Does the signature interpret every symbol in ``symbols``?"""
+        return all(self.has_symbol(s) for s in symbols)
+
+    # -- extension ---------------------------------------------------------------
+
+    def extend(
+        self,
+        functions: Iterable[InterpretedFunction] = (),
+        predicates: Iterable[InterpretedPredicate] = (),
+        name: Optional[str] = None,
+    ) -> "Signature":
+        """Return the extension ``Omega'`` of this signature with extra symbols."""
+        return Signature(
+            tuple(self._functions.values()) + tuple(functions),
+            tuple(self._predicates.values()) + tuple(predicates),
+            name=name or f"{self.name}+",
+        )
+
+    def is_extension_of(self, other: "Signature") -> bool:
+        """Is every symbol of ``other`` present (with the same arity) here?"""
+        for sym, fn in other._functions.items():
+            mine = self._functions.get(sym)
+            if mine is None or mine.arity != fn.arity:
+                return False
+        for sym, pred in other._predicates.items():
+            mine_p = self._predicates.get(sym)
+            if mine_p is None or mine_p.arity != pred.arity:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature({self.name!r}, functions={sorted(self._functions)}, "
+            f"predicates={sorted(self._predicates)})"
+        )
+
+
+#: The empty signature: plain ``FOc`` (or ``FO`` when no constants are used).
+EMPTY_SIGNATURE = Signature(name="empty")
+
+
+def _as_int(value: object) -> int:
+    """Interpret a universe element as an integer (0 for non-integers).
+
+    The paper's universe is abstract; our stock interpreted signatures treat
+    integer elements arithmetically and map everything else to 0, which keeps
+    every function total as the paper requires.
+    """
+    return value if isinstance(value, int) and not isinstance(value, bool) else 0
+
+
+def arithmetic_signature() -> Signature:
+    """A stock ``Omega`` with successor, addition, parity and comparison."""
+    return Signature(
+        functions=(
+            InterpretedFunction("succ", 1, lambda x: _as_int(x) + 1),
+            InterpretedFunction("plus", 2, lambda x, y: _as_int(x) + _as_int(y)),
+            InterpretedFunction("double", 1, lambda x: 2 * _as_int(x)),
+        ),
+        predicates=(
+            InterpretedPredicate("even", 1, lambda x: _as_int(x) % 2 == 0),
+            InterpretedPredicate("leq", 2, lambda x, y: _as_int(x) <= _as_int(y)),
+            InterpretedPredicate("lt", 2, lambda x, y: _as_int(x) < _as_int(y)),
+        ),
+        name="arithmetic",
+    )
+
+
+def successor_signature() -> Signature:
+    """``Omega`` with only the successor function (a minimal proper extension)."""
+    return Signature(
+        functions=(InterpretedFunction("succ", 1, lambda x: _as_int(x) + 1),),
+        name="successor",
+    )
+
+
+def order_signature() -> Signature:
+    """``Omega`` with a linear order ``O`` on the universe, isomorphic to omega.
+
+    This is the built-in order used in the proof of Theorem 3 for ``FOc(Omega)``:
+    the universe's integer elements are ordered in the usual way.
+    """
+    return Signature(
+        predicates=(
+            InterpretedPredicate("O", 2, lambda x, y: _as_int(x) < _as_int(y)),
+        ),
+        name="order",
+    )

@@ -1,0 +1,98 @@
+"""Transaction languages.
+
+The paper's transaction-language layer: the abstract transaction interface,
+select-project-join (relational algebra) transactions, the Qian-style
+first-order transaction language (which admits prerelations), a stratified
+Datalog¬ engine, and the recursive transactions (transitive closure,
+deterministic transitive closure, same-generation) of Theorem B.
+"""
+
+from .base import (
+    ComposedTransaction,
+    FunctionTransaction,
+    GuardedTransaction,
+    IdentityTransaction,
+    Transaction,
+    TransactionAbortedSignal,
+    TransactionError,
+    TransactionLanguage,
+    is_generic_on,
+)
+from .relational_algebra import (
+    AlgebraTransaction,
+    complete_graph_transaction,
+    copy_relation_transaction,
+    diagonal_transaction,
+)
+from .fo_transactions import (
+    CompiledProgram,
+    Conditional,
+    DeleteWhere,
+    FOProgram,
+    InsertTuple,
+    InsertWhere,
+    SetRelation,
+    Statement,
+)
+from .datalog import (
+    DatalogAtom,
+    DatalogError,
+    DatalogProgram,
+    DatalogTransaction,
+    Literal,
+    Rule,
+    deterministic_tc_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+from .recursive import (
+    WhileTransaction,
+    dtc_datalog_transaction,
+    dtc_transaction,
+    sg_datalog_transaction,
+    sg_transaction,
+    tc_datalog_transaction,
+    tc_transaction,
+    tc_while_transaction,
+)
+
+__all__ = [
+    "ComposedTransaction",
+    "FunctionTransaction",
+    "GuardedTransaction",
+    "IdentityTransaction",
+    "Transaction",
+    "TransactionAbortedSignal",
+    "TransactionError",
+    "TransactionLanguage",
+    "is_generic_on",
+    "AlgebraTransaction",
+    "complete_graph_transaction",
+    "copy_relation_transaction",
+    "diagonal_transaction",
+    "CompiledProgram",
+    "Conditional",
+    "DeleteWhere",
+    "FOProgram",
+    "InsertTuple",
+    "InsertWhere",
+    "SetRelation",
+    "Statement",
+    "DatalogAtom",
+    "DatalogError",
+    "DatalogProgram",
+    "DatalogTransaction",
+    "Literal",
+    "Rule",
+    "deterministic_tc_program",
+    "same_generation_program",
+    "transitive_closure_program",
+    "WhileTransaction",
+    "dtc_datalog_transaction",
+    "dtc_transaction",
+    "sg_datalog_transaction",
+    "sg_transaction",
+    "tc_datalog_transaction",
+    "tc_transaction",
+    "tc_while_transaction",
+]

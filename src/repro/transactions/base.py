@@ -1,0 +1,267 @@
+"""The transaction abstraction.
+
+A *transaction language* in the paper is (1) a recursive syntax and (2) a
+total recursive semantics mapping a program and a database to a database (or
+an error).  A *transaction* is the semantic object: a total map from databases
+to databases.
+
+:class:`Transaction` is the abstract interface used throughout the core:
+anything with an ``apply(db) -> Database`` method and a ``name``.  The module
+also provides
+
+* :class:`FunctionTransaction` — wrap a plain Python callable,
+* :class:`ComposedTransaction` — sequential composition ``T2 ∘ T1``,
+* :class:`GuardedTransaction` — the paper's safe form
+  ``if <condition> then T else abort`` (the condition may be a weakest
+  precondition, making the transaction integrity-preserving by construction),
+* :func:`is_generic_on` — a sampling check of genericity (invariance under
+  permutations of the universe), the property Proposition 4 is about,
+* :class:`TransactionLanguage` — a named, enumerable collection of
+  transactions (the countable syntax + semantics pair of the paper), used by
+  the diagonalisation construction of Theorem 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..db.database import Database
+
+__all__ = [
+    "TransactionError",
+    "Transaction",
+    "FunctionTransaction",
+    "IdentityTransaction",
+    "ComposedTransaction",
+    "GuardedTransaction",
+    "TransactionAbortedSignal",
+    "is_generic_on",
+    "TransactionLanguage",
+]
+
+
+class TransactionError(RuntimeError):
+    """Raised when a transaction cannot be applied to a database."""
+
+
+class TransactionAbortedSignal(RuntimeError):
+    """Raised by :class:`GuardedTransaction` when its guard rejects the database."""
+
+
+class Transaction:
+    """A total map from databases to databases."""
+
+    name: str = "transaction"
+
+    def apply(self, db: Database) -> Database:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, db: Database) -> Database:
+        return self.apply(db)
+
+    # -- combinators -------------------------------------------------------------
+
+    def then(self, other: "Transaction") -> "ComposedTransaction":
+        """Sequential composition: ``self`` first, then ``other``."""
+        return ComposedTransaction(self, other)
+
+    def guarded_by(self, condition, on_abort: str = "raise") -> "GuardedTransaction":
+        """The safe form ``if condition then self else abort``."""
+        return GuardedTransaction(self, condition, on_abort=on_abort)
+
+    # -- properties ----------------------------------------------------------------
+
+    def preserves(self, constraint, db: Database, checker=None) -> bool:
+        """Does this transaction preserve ``constraint`` on the specific database ``db``?
+
+        ``constraint`` is either a :class:`~repro.logic.syntax.Formula` or any
+        object with a ``holds(db)`` method.  ``D |= alpha`` implies
+        ``T(D) |= alpha`` — vacuously true when ``D`` does not satisfy the
+        constraint.
+        """
+        from ..logic.evaluation import evaluate
+        from ..logic.syntax import Formula
+
+        def holds(database: Database) -> bool:
+            if checker is not None:
+                return checker(constraint, database)
+            if isinstance(constraint, Formula):
+                return evaluate(constraint, database)
+            return constraint.holds(database)
+
+        if not holds(db):
+            return True
+        return holds(self.apply(db))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FunctionTransaction(Transaction):
+    """Wrap an arbitrary total Python function on databases as a transaction."""
+
+    def __init__(self, fn: Callable[[Database], Database], name: Optional[str] = None):
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "function")
+
+    def apply(self, db: Database) -> Database:
+        result = self._fn(db)
+        if not isinstance(result, Database):
+            raise TransactionError(
+                f"transaction {self.name!r} returned {type(result).__name__}, not a Database"
+            )
+        return result
+
+
+class IdentityTransaction(Transaction):
+    """The identity transaction."""
+
+    name = "identity"
+
+    def apply(self, db: Database) -> Database:
+        return db
+
+
+class ComposedTransaction(Transaction):
+    """Sequential composition of two transactions (first, then second)."""
+
+    def __init__(self, first: Transaction, second: Transaction):
+        self.first = first
+        self.second = second
+        self.name = f"{second.name} . {first.name}"
+
+    def apply(self, db: Database) -> Database:
+        return self.second.apply(self.first.apply(db))
+
+
+class GuardedTransaction(Transaction):
+    """``if <condition> then T else abort``.
+
+    ``condition`` is a :class:`~repro.logic.syntax.Formula` (evaluated on the
+    input database) or any object with ``holds(db)``.  ``on_abort`` controls
+    the abort behaviour: ``"raise"`` raises :class:`TransactionAbortedSignal`,
+    ``"identity"`` returns the input unchanged (the database-system view of an
+    aborted transaction).
+    """
+
+    def __init__(self, inner: Transaction, condition, on_abort: str = "raise"):
+        if on_abort not in ("raise", "identity"):
+            raise ValueError("on_abort must be 'raise' or 'identity'")
+        self.inner = inner
+        self.condition = condition
+        self.on_abort = on_abort
+        self.name = f"guarded({inner.name})"
+
+    def guard_holds(self, db: Database) -> bool:
+        from ..logic.evaluation import evaluate
+        from ..logic.syntax import Formula
+
+        if isinstance(self.condition, Formula):
+            return evaluate(self.condition, db)
+        return self.condition.holds(db)
+
+    def apply(self, db: Database) -> Database:
+        if self.guard_holds(db):
+            return self.inner.apply(db)
+        if self.on_abort == "identity":
+            return db
+        raise TransactionAbortedSignal(
+            f"guard of {self.inner.name!r} rejected the database"
+        )
+
+
+def is_generic_on(
+    transaction: Transaction,
+    databases: Iterable[Database],
+    permutations_per_db: int = 5,
+    seed: int = 0,
+    extra_universe: Sequence[object] = (),
+) -> bool:
+    """Sampling check of genericity: ``T(pi(D)) = pi(T(D))`` for permutations ``pi``.
+
+    Genericity over an infinite universe cannot be decided by testing, but the
+    check exercises both permutations of the active domain and swaps with
+    fresh elements from ``extra_universe``, which is how non-generic
+    (constant-dependent) transactions are caught in practice.
+    """
+    rng = random.Random(seed)
+    for db in databases:
+        domain = sorted(db.active_domain, key=repr)
+        pool = list(domain) + [v for v in extra_universe if v not in domain]
+        for _ in range(permutations_per_db):
+            shuffled = pool[:]
+            rng.shuffle(shuffled)
+            mapping = dict(zip(pool, shuffled))
+            permuted_input = db.map_domain(mapping)
+            expected = transaction.apply(db).map_domain(mapping)
+            actual = transaction.apply(permuted_input)
+            if expected != actual:
+                return False
+    return True
+
+
+class TransactionLanguage:
+    """A named, countable collection of transactions.
+
+    The paper's transaction languages have recursive syntax; for the purposes
+    of the diagonalisation construction all that matters is that the
+    transactions can be effectively enumerated ``T_1, T_2, ...``.  A language
+    is built either from an explicit list or from a generator function.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transactions: Optional[Iterable[Transaction]] = None,
+        generator: Optional[Callable[[], Iterator[Transaction]]] = None,
+    ):
+        if (transactions is None) == (generator is None):
+            raise ValueError("provide exactly one of `transactions` or `generator`")
+        self.name = name
+        self._explicit: Optional[List[Transaction]] = (
+            list(transactions) if transactions is not None else None
+        )
+        self._generator = generator
+        self._cache: List[Transaction] = []
+        self._iterator: Optional[Iterator[Transaction]] = None
+
+    def __iter__(self) -> Iterator[Transaction]:
+        if self._explicit is not None:
+            return iter(self._explicit)
+        return self._lazy_iter()
+
+    def _lazy_iter(self) -> Iterator[Transaction]:
+        index = 0
+        while True:
+            try:
+                yield self[index]
+            except IndexError:
+                return
+            index += 1
+
+    def __getitem__(self, index: int) -> Transaction:
+        if self._explicit is not None:
+            return self._explicit[index]
+        if self._iterator is None:
+            self._iterator = self._generator()  # type: ignore[misc]
+        while len(self._cache) <= index:
+            try:
+                self._cache.append(next(self._iterator))
+            except StopIteration as exc:
+                raise IndexError(index) from exc
+        return self._cache[index]
+
+    def __len__(self) -> int:
+        if self._explicit is not None:
+            return len(self._explicit)
+        raise TypeError(f"transaction language {self.name!r} is (potentially) infinite")
+
+    def prefix(self, count: int) -> List[Transaction]:
+        """The first ``count`` transactions of the enumeration."""
+        return [self[i] for i in range(count)]
+
+    def __repr__(self) -> str:
+        size = len(self._explicit) if self._explicit is not None else "infinite"
+        return f"TransactionLanguage({self.name!r}, size={size})"

@@ -1,0 +1,507 @@
+"""A stratified Datalog-with-negation engine.
+
+Theorem D notes that the separating transaction of Theorem 7 can be chosen to
+be Datalog¬-definable, and Theorem B covers transaction languages that can
+express transitive closure, deterministic transitive closure or
+same-generation — all classical Datalog programs.  This module provides the
+substrate: a small but complete stratified Datalog¬ evaluator with semi-naive
+evaluation, which :mod:`repro.transactions.recursive` uses to define those
+transactions, and which the examples use directly.
+
+Programs consist of :class:`Rule` objects ``head :- body`` where the body is a
+list of literals: positive or negated atoms over EDB (database) or IDB
+(derived) predicates, equality and inequality constraints.  Negation must be
+*stratified*: no recursion through negation (checked at program construction).
+Rules must be *safe*: every head variable and every variable in a negated
+literal or inequality appears in some positive body literal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..db.database import Database
+from ..db.schema import RelationSchema, Schema
+from .base import Transaction, TransactionError
+
+__all__ = [
+    "DatalogError",
+    "DatalogAtom",
+    "Literal",
+    "Rule",
+    "DatalogProgram",
+    "DatalogTransaction",
+    "transitive_closure_program",
+    "deterministic_tc_program",
+    "same_generation_program",
+]
+
+TupleRow = Tuple[object, ...]
+
+
+class DatalogError(ValueError):
+    """Raised for malformed or unstratifiable programs."""
+
+
+@dataclass(frozen=True)
+class DatalogAtom:
+    """An atom ``P(t1, ..., tn)`` where each term is a variable name or a constant.
+
+    Variables are strings starting with a lowercase letter or underscore;
+    anything else (including non-string values) is treated as a constant.
+    """
+
+    predicate: str
+    terms: Tuple[object, ...]
+
+    def __init__(self, predicate: str, *terms: object):
+        if len(terms) == 1 and isinstance(terms[0], (tuple, list)):
+            terms = tuple(terms[0])
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(t for t in self.terms if _is_variable(t))
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(map(str, self.terms))})"
+
+
+def _is_variable(term: object) -> bool:
+    return isinstance(term, str) and bool(term) and (term[0].islower() or term[0] == "_")
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A body literal: an atom, a negated atom, or an (in)equality constraint."""
+
+    kind: str  # "atom" | "negated" | "eq" | "neq"
+    atom: Optional[DatalogAtom] = None
+    left: object = None
+    right: object = None
+
+    @classmethod
+    def positive(cls, predicate: str, *terms: object) -> "Literal":
+        return cls("atom", DatalogAtom(predicate, *terms))
+
+    @classmethod
+    def negative(cls, predicate: str, *terms: object) -> "Literal":
+        return cls("negated", DatalogAtom(predicate, *terms))
+
+    @classmethod
+    def equal(cls, left: object, right: object) -> "Literal":
+        return cls("eq", None, left, right)
+
+    @classmethod
+    def not_equal(cls, left: object, right: object) -> "Literal":
+        return cls("neq", None, left, right)
+
+    def variables(self) -> FrozenSet[str]:
+        if self.atom is not None:
+            return self.atom.variables()
+        result = set()
+        for value in (self.left, self.right):
+            if _is_variable(value):
+                result.add(value)
+        return frozenset(result)
+
+    def __str__(self) -> str:
+        if self.kind == "atom":
+            return str(self.atom)
+        if self.kind == "negated":
+            return f"not {self.atom}"
+        op = "=" if self.kind == "eq" else "!="
+        return f"{self.left} {op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body`` with safety checked at construction."""
+
+    head: DatalogAtom
+    body: Tuple[Literal, ...]
+
+    def __init__(self, head: DatalogAtom, body: Sequence[Literal]):
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        bound: Set[str] = set()
+        for literal in self.body:
+            if literal.kind == "atom":
+                bound |= literal.variables()
+        for literal in self.body:
+            if literal.kind == "eq":
+                # an equality can bind a variable to a constant or bound variable
+                left_var = _is_variable(literal.left)
+                right_var = _is_variable(literal.right)
+                if left_var and (not right_var or literal.right in bound):
+                    bound.add(literal.left)
+                if right_var and (not left_var or literal.left in bound):
+                    bound.add(literal.right)
+        unsafe_head = self.head.variables() - bound
+        if unsafe_head:
+            raise DatalogError(
+                f"unsafe rule {self}: head variables {sorted(unsafe_head)} not bound "
+                "by a positive body literal"
+            )
+        for literal in self.body:
+            if literal.kind in ("negated", "neq"):
+                unsafe = literal.variables() - bound
+                if unsafe:
+                    raise DatalogError(
+                        f"unsafe rule {self}: variables {sorted(unsafe)} of {literal} "
+                        "not bound by a positive body literal"
+                    )
+
+    def idb_dependencies(self) -> Set[Tuple[str, bool]]:
+        """Predicates this rule depends on, with a flag for negated use."""
+        result = set()
+        for literal in self.body:
+            if literal.atom is not None:
+                result.add((literal.atom.predicate, literal.kind == "negated"))
+        return result
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(map(str, self.body))}"
+
+
+class DatalogProgram:
+    """A stratified Datalog¬ program.
+
+    ``rules`` define the IDB predicates; every predicate used but never defined
+    is an EDB predicate and must exist in the input database's schema.
+    """
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = tuple(rules)
+        if not self.rules:
+            raise DatalogError("a Datalog program needs at least one rule")
+        self.idb_predicates = {rule.head.predicate for rule in self.rules}
+        self._arities: Dict[str, int] = {}
+        for rule in self.rules:
+            seen = self._arities.setdefault(rule.head.predicate, rule.head.arity)
+            if seen != rule.head.arity:
+                raise DatalogError(
+                    f"predicate {rule.head.predicate!r} used with arities {seen} and {rule.head.arity}"
+                )
+        self.strata = self._stratify()
+
+    # -- stratification -----------------------------------------------------------
+
+    def _stratify(self) -> List[Set[str]]:
+        """Assign IDB predicates to strata; negation may only look down."""
+        stratum: Dict[str, int] = {p: 0 for p in self.idb_predicates}
+        changed = True
+        iterations = 0
+        bound = len(self.idb_predicates) ** 2 + len(self.idb_predicates) + 1
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > bound:
+                raise DatalogError("program is not stratifiable (recursion through negation)")
+            for rule in self.rules:
+                head = rule.head.predicate
+                for predicate, negated in rule.idb_dependencies():
+                    if predicate not in self.idb_predicates:
+                        continue
+                    required = stratum[predicate] + (1 if negated else 0)
+                    if stratum[head] < required:
+                        stratum[head] = required
+                        changed = True
+        levels: Dict[int, Set[str]] = {}
+        for predicate, level in stratum.items():
+            levels.setdefault(level, set()).add(predicate)
+        return [levels[level] for level in sorted(levels)]
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, db: Database) -> Dict[str, FrozenSet[TupleRow]]:
+        """Evaluate the program; returns the IDB relations (EDB relations included).
+
+        Semi-naive evaluation per stratum.
+        """
+        facts: Dict[str, Set[TupleRow]] = {
+            name: set(rows) for name, rows in db.relations().items()
+        }
+        for predicate in self.idb_predicates:
+            facts.setdefault(predicate, set())
+        for stratum in self.strata:
+            rules = [rule for rule in self.rules if rule.head.predicate in stratum]
+            self._evaluate_stratum(rules, facts)
+        return {name: frozenset(rows) for name, rows in facts.items()}
+
+    def _evaluate_stratum(
+        self, rules: Sequence[Rule], facts: Dict[str, Set[TupleRow]]
+    ) -> None:
+        # naive first pass to seed, then semi-naive with deltas
+        delta: Dict[str, Set[TupleRow]] = {rule.head.predicate: set() for rule in rules}
+        for rule in rules:
+            for row in self._apply_rule(rule, facts, None, None):
+                if row not in facts[rule.head.predicate]:
+                    facts[rule.head.predicate].add(row)
+                    delta[rule.head.predicate].add(row)
+        while any(delta.values()):
+            new_delta: Dict[str, Set[TupleRow]] = {p: set() for p in delta}
+            for rule in rules:
+                positive_idb = [
+                    literal.atom.predicate
+                    for literal in rule.body
+                    if literal.kind == "atom" and literal.atom.predicate in delta
+                ]
+                if not positive_idb:
+                    continue
+                for pivot in set(positive_idb):
+                    if not delta[pivot]:
+                        continue
+                    for row in self._apply_rule(rule, facts, pivot, delta[pivot]):
+                        if row not in facts[rule.head.predicate]:
+                            facts[rule.head.predicate].add(row)
+                            new_delta[rule.head.predicate].add(row)
+            delta = new_delta
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        facts: Mapping[str, Set[TupleRow]],
+        pivot: Optional[str],
+        pivot_delta: Optional[Set[TupleRow]],
+    ) -> Iterable[TupleRow]:
+        """All head tuples derivable by ``rule``.
+
+        When ``pivot`` is given, at least one occurrence of that predicate in
+        the body is required to match a tuple from ``pivot_delta`` (semi-naive
+        restriction); this is implemented by trying each occurrence as the
+        delta occurrence in turn.
+        """
+        positive_literals = [l for l in rule.body if l.kind == "atom"]
+        occurrences = (
+            [i for i, l in enumerate(positive_literals) if l.atom.predicate == pivot]
+            if pivot is not None
+            else [None]
+        )
+        results: Set[TupleRow] = set()
+        for delta_occurrence in occurrences:
+            for binding in self._join(
+                positive_literals, facts, 0, {}, delta_occurrence, pivot_delta
+            ):
+                extended = self._extend_with_equalities(rule, binding)
+                if extended is None:
+                    continue
+                if self._constraints_hold(rule, extended, facts):
+                    results.add(self._instantiate(rule.head, extended))
+        return results
+
+    @staticmethod
+    def _extend_with_equalities(
+        rule: Rule, binding: Dict[str, object]
+    ) -> Optional[Dict[str, object]]:
+        """Bind variables through ``=`` body literals (e.g. ``x = y`` with ``y`` bound).
+
+        Returns the extended binding, or ``None`` when an equality over two
+        bound values is violated (the remaining constraints are checked later).
+        """
+        extended = dict(binding)
+        changed = True
+        while changed:
+            changed = False
+            for literal in rule.body:
+                if literal.kind != "eq":
+                    continue
+                left_bound = not _is_variable(literal.left) or literal.left in extended
+                right_bound = not _is_variable(literal.right) or literal.right in extended
+                left_value = (
+                    extended[literal.left] if _is_variable(literal.left) and left_bound
+                    else literal.left
+                )
+                right_value = (
+                    extended[literal.right] if _is_variable(literal.right) and right_bound
+                    else literal.right
+                )
+                if left_bound and right_bound:
+                    if left_value != right_value:
+                        return None
+                elif left_bound and _is_variable(literal.right):
+                    extended[literal.right] = left_value
+                    changed = True
+                elif right_bound and _is_variable(literal.left):
+                    extended[literal.left] = right_value
+                    changed = True
+        return extended
+
+    def _join(
+        self,
+        literals: List[Literal],
+        facts: Mapping[str, Set[TupleRow]],
+        index: int,
+        binding: Dict[str, object],
+        delta_occurrence: Optional[int],
+        pivot_delta: Optional[Set[TupleRow]],
+    ):
+        if index == len(literals):
+            yield dict(binding)
+            return
+        literal = literals[index]
+        source = facts.get(literal.atom.predicate, set())
+        if delta_occurrence is not None and index == delta_occurrence:
+            source = pivot_delta if pivot_delta is not None else source
+        for row in source:
+            extended = self._match(literal.atom, row, binding)
+            if extended is not None:
+                yield from self._join(
+                    literals, facts, index + 1, extended, delta_occurrence, pivot_delta
+                )
+
+    @staticmethod
+    def _match(
+        atom: DatalogAtom, row: TupleRow, binding: Dict[str, object]
+    ) -> Optional[Dict[str, object]]:
+        if len(row) != atom.arity:
+            return None
+        extended = dict(binding)
+        for term, value in zip(atom.terms, row):
+            if _is_variable(term):
+                if term in extended and extended[term] != value:
+                    return None
+                extended[term] = value
+            elif term != value:
+                return None
+        return extended
+
+    def _constraints_hold(
+        self, rule: Rule, binding: Mapping[str, object], facts: Mapping[str, Set[TupleRow]]
+    ) -> bool:
+        for literal in rule.body:
+            if literal.kind == "eq":
+                if self._value(literal.left, binding) != self._value(literal.right, binding):
+                    return False
+            elif literal.kind == "neq":
+                if self._value(literal.left, binding) == self._value(literal.right, binding):
+                    return False
+            elif literal.kind == "negated":
+                row = self._instantiate(literal.atom, binding)
+                if row in facts.get(literal.atom.predicate, set()):
+                    return False
+        return True
+
+    @staticmethod
+    def _value(term: object, binding: Mapping[str, object]) -> object:
+        return binding[term] if _is_variable(term) else term
+
+    @staticmethod
+    def _instantiate(atom: DatalogAtom, binding: Mapping[str, object]) -> TupleRow:
+        return tuple(
+            binding[t] if _is_variable(t) else t for t in atom.terms
+        )
+
+    def __repr__(self) -> str:
+        return f"DatalogProgram({len(self.rules)} rules, {len(self.strata)} strata)"
+
+
+class DatalogTransaction(Transaction):
+    """A transaction that replaces schema relations by IDB predicates of a program.
+
+    ``outputs`` maps schema relation names to IDB predicate names; after
+    evaluating the program on the input database, each mapped relation is
+    replaced by the corresponding IDB relation (other relations are unchanged).
+    """
+
+    def __init__(
+        self,
+        program: DatalogProgram,
+        outputs: Mapping[str, str],
+        name: str = "datalog-transaction",
+    ):
+        self.program = program
+        self.outputs = dict(outputs)
+        self.name = name
+
+    def apply(self, db: Database) -> Database:
+        derived = self.program.evaluate(db)
+        relations = {name: rows for name, rows in db.relations().items()}
+        for relation, predicate in self.outputs.items():
+            if relation not in db.schema:
+                raise TransactionError(f"relation {relation!r} not in the schema")
+            rows = derived.get(predicate, frozenset())
+            expected = db.schema[relation].arity
+            for row in rows:
+                if len(row) != expected:
+                    raise TransactionError(
+                        f"IDB predicate {predicate!r} has arity {len(row)}, "
+                        f"relation {relation!r} expects {expected}"
+                    )
+            relations[relation] = rows
+        return Database(db.schema, relations)
+
+
+# ---------------------------------------------------------------------------
+# the classical programs
+# ---------------------------------------------------------------------------
+
+def transitive_closure_program() -> DatalogProgram:
+    """``tc(x, y) :- E(x, y).  tc(x, y) :- tc(x, z), E(z, y).``"""
+    return DatalogProgram([
+        Rule(DatalogAtom("tc", "x", "y"), [Literal.positive("E", "x", "y")]),
+        Rule(
+            DatalogAtom("tc", "x", "y"),
+            [Literal.positive("tc", "x", "z"), Literal.positive("E", "z", "y")],
+        ),
+    ])
+
+
+def deterministic_tc_program() -> DatalogProgram:
+    """Deterministic transitive closure via an auxiliary single-successor predicate.
+
+    ``onlyedge(x, y)`` holds when ``(x, y)`` is the *only* out-edge of ``x``
+    (so the deterministic path may extend through it); ``dtc`` contains all
+    edges plus paths through single-out-degree nodes.
+    """
+    return DatalogProgram([
+        # multi(x): x has at least two distinct out-neighbours
+        Rule(
+            DatalogAtom("multi", "x"),
+            [
+                Literal.positive("E", "x", "y"),
+                Literal.positive("E", "x", "z"),
+                Literal.not_equal("y", "z"),
+            ],
+        ),
+        Rule(
+            DatalogAtom("onlyedge", "x", "y"),
+            [Literal.positive("E", "x", "y"), Literal.negative("multi", "x")],
+        ),
+        Rule(DatalogAtom("dtc", "x", "y"), [Literal.positive("E", "x", "y")]),
+        Rule(
+            DatalogAtom("dpath", "x", "y"),
+            [Literal.positive("onlyedge", "x", "y")],
+        ),
+        Rule(
+            DatalogAtom("dpath", "x", "y"),
+            [Literal.positive("dpath", "x", "z"), Literal.positive("onlyedge", "z", "y")],
+        ),
+        Rule(DatalogAtom("dtc", "x", "y"), [Literal.positive("dpath", "x", "y")]),
+    ])
+
+
+def same_generation_program() -> DatalogProgram:
+    """``sg(x, x) :- node(x).  sg(x, y) :- sg(u, v), E(u, x), E(v, y).``"""
+    return DatalogProgram([
+        Rule(DatalogAtom("node", "x"), [Literal.positive("E", "x", "y")]),
+        Rule(DatalogAtom("node", "y"), [Literal.positive("E", "x", "y")]),
+        Rule(DatalogAtom("sg", "x", "x"), [Literal.positive("node", "x")]),
+        Rule(
+            DatalogAtom("sg", "x", "y"),
+            [
+                Literal.positive("sg", "u", "v"),
+                Literal.positive("E", "u", "x"),
+                Literal.positive("E", "v", "y"),
+            ],
+        ),
+    ])

@@ -1,0 +1,135 @@
+"""Recursive transactions: transitive closure, deterministic transitive closure,
+same-generation, and a small while-language.
+
+Theorem B shows that any transaction language able to express one of these
+queries is not verifiable over FO (nor over FOcount, FOc(Omega), monadic Σ¹₁).
+The transactions are provided in two equivalent forms:
+
+* directly, as graph algorithms (:func:`tc_transaction`,
+  :func:`dtc_transaction`, :func:`sg_transaction`), and
+* as :class:`~repro.transactions.datalog.DatalogTransaction` programs
+  (:func:`tc_datalog_transaction`, ...), witnessing that they live in a
+  conventional recursive transaction language.
+
+The module also provides a tiny *while* transaction language
+(:class:`WhileTransaction`): repeat a Qian-style FO program until the database
+stops changing (with a safety bound).  Transitive closure is expressible in
+it, which is how the paper connects Theorem B to languages "with a mechanism
+for doing recursion".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..db.database import Database
+from ..db.graph import (
+    deterministic_transitive_closure,
+    same_generation,
+    transitive_closure,
+)
+from .base import FunctionTransaction, Transaction, TransactionError
+from .datalog import (
+    DatalogTransaction,
+    deterministic_tc_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+from .fo_transactions import FOProgram
+
+__all__ = [
+    "tc_transaction",
+    "dtc_transaction",
+    "sg_transaction",
+    "tc_datalog_transaction",
+    "dtc_datalog_transaction",
+    "sg_datalog_transaction",
+    "WhileTransaction",
+    "tc_while_transaction",
+]
+
+
+def tc_transaction() -> Transaction:
+    """The transaction replacing ``E`` with its transitive closure ``tc(G)``."""
+    return FunctionTransaction(transitive_closure, name="transitive-closure")
+
+
+def dtc_transaction() -> Transaction:
+    """The transaction replacing ``E`` with its deterministic transitive closure."""
+    return FunctionTransaction(
+        deterministic_transitive_closure, name="deterministic-transitive-closure"
+    )
+
+
+def sg_transaction() -> Transaction:
+    """The transaction replacing ``E`` with the same-generation relation ``sg(G)``."""
+    return FunctionTransaction(same_generation, name="same-generation")
+
+
+def tc_datalog_transaction() -> DatalogTransaction:
+    """Transitive closure as a Datalog transaction (same semantics as :func:`tc_transaction`)."""
+    return DatalogTransaction(transitive_closure_program(), {"E": "tc"}, name="tc-datalog")
+
+
+def dtc_datalog_transaction() -> DatalogTransaction:
+    """Deterministic transitive closure as a Datalog¬ transaction."""
+    return DatalogTransaction(deterministic_tc_program(), {"E": "dtc"}, name="dtc-datalog")
+
+
+def sg_datalog_transaction() -> DatalogTransaction:
+    """Same-generation as a Datalog transaction."""
+    return DatalogTransaction(same_generation_program(), {"E": "sg"}, name="sg-datalog")
+
+
+class WhileTransaction(Transaction):
+    """Repeat a body transaction until a fixpoint (or an iteration bound) is reached.
+
+    The body is typically an :class:`~repro.transactions.fo_transactions.FOProgram`
+    (a non-recursive first-order step); iterating it to a fixpoint is exactly
+    the kind of recursion that Theorem B shows destroys FO-verifiability.
+
+    ``max_iterations`` keeps the semantics total, as the paper's transaction
+    model requires (the default bound is generous enough for the inflationary
+    bodies used in practice, whose fixpoints are reached within
+    ``|dom|^arity`` steps).
+    """
+
+    def __init__(
+        self,
+        body: Transaction,
+        max_iterations: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        self.body = body
+        self.max_iterations = max_iterations
+        self.name = name or f"while({body.name})"
+
+    def apply(self, db: Database) -> Database:
+        bound = self.max_iterations
+        if bound is None:
+            size = len(db.active_domain)
+            bound = max(size * size + 1, 8)
+        current = db
+        for _ in range(bound):
+            next_db = self.body.apply(current)
+            if next_db == current:
+                return current
+            current = next_db
+        return current
+
+
+def tc_while_transaction() -> WhileTransaction:
+    """Transitive closure as a while-iterated first-order step.
+
+    The step inserts ``E(x, y)`` whenever ``exists z . E(x, z) & E(z, y)``;
+    iterating to a fixpoint computes ``tc``.
+    """
+    from ..logic.builder import E, exists
+    from ..logic.syntax import make_and
+    from .fo_transactions import InsertWhere
+
+    step = FOProgram(
+        [InsertWhere("E", ("x", "y"), exists("z", make_and(E("x", "z"), E("z", "y"))))],
+        name="tc-step",
+    )
+    return WhileTransaction(step, name="tc-while")

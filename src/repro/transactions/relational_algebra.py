@@ -1,0 +1,128 @@
+"""Relational-algebra transactions (the SPJ language of Proposition 1).
+
+A relational-algebra transaction assigns to every relation of the schema a
+relational-algebra expression evaluated over the *old* database state; the new
+state interprets each relation as the value of its expression.  Relations not
+mentioned keep their old value.  Select-project-join expressions already make
+``Preserve(TL, FO)`` undecidable (Fact A / Proposition 1), and the two
+transactions used in that proof are provided ready-made:
+
+* :func:`diagonal_transaction` — ``T1``: replaces ``E`` with the diagonal
+  ``{(x, x) | x in V}`` of its node set, implemented as
+  ``pi_{0,3}(sigma_{0=3}(E x E))``;
+* :func:`complete_graph_transaction` — ``T2``: replaces ``E`` with the
+  complete loop-free graph ``{(x, y) | x, y in V, x != y}``, implemented as
+  ``pi_{0,3}(sigma_{0!=3}(E x E))``.
+
+(The paper indexes columns from 1; we use 0-based indices, so the paper's
+``pi_{1,3}(sigma_{1=3}(E x E))`` is our ``pi_{0,2}`` over a 4-column product —
+the expressions below spell this out.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..db import algebra
+from ..db.database import Database
+from ..db.schema import GRAPH_SCHEMA, Schema
+from .base import Transaction, TransactionError
+
+__all__ = [
+    "AlgebraTransaction",
+    "diagonal_transaction",
+    "complete_graph_transaction",
+    "copy_relation_transaction",
+]
+
+
+class AlgebraTransaction(Transaction):
+    """A transaction given by one relational-algebra expression per relation.
+
+    Parameters
+    ----------
+    assignments:
+        Mapping from relation name to the expression computing its new value
+        (evaluated against the *old* state).  Unmentioned relations are left
+        unchanged.
+    schema:
+        The database schema the transaction expects.
+    name:
+        A human-readable name.
+    """
+
+    def __init__(
+        self,
+        assignments: Mapping[str, algebra.Expression],
+        schema: Schema = GRAPH_SCHEMA,
+        name: str = "algebra-transaction",
+    ):
+        unknown = set(assignments) - set(schema.relation_names)
+        if unknown:
+            raise TransactionError(
+                f"assignments to relations {sorted(unknown)} outside the schema"
+            )
+        self.assignments: Dict[str, algebra.Expression] = dict(assignments)
+        self.schema = schema
+        self.name = name
+
+    def apply(self, db: Database) -> Database:
+        if db.schema != self.schema:
+            raise TransactionError(
+                f"transaction {self.name!r} expects schema {self.schema!r}"
+            )
+        new_relations: Dict[str, object] = {}
+        for rel in self.schema:
+            if rel.name in self.assignments:
+                expression = self.assignments[rel.name]
+                if expression.arity(db) != rel.arity:
+                    raise TransactionError(
+                        f"expression for {rel.name!r} has arity {expression.arity(db)}, "
+                        f"expected {rel.arity}"
+                    )
+                new_relations[rel.name] = expression.evaluate(db)
+            else:
+                new_relations[rel.name] = db.relation(rel.name)
+        return Database(self.schema, new_relations)
+
+
+def _node_pairs_product() -> algebra.Expression:
+    """All pairs of nodes ``V x V`` as a 2-column expression.
+
+    The node set ``V`` is the union of the two projections of ``E`` (the
+    paper's convention), and the product then ranges over every pair of
+    nodes.  The paper writes the same transactions as ``pi_{1,3}(sigma(E x E))``
+    over the raw 4-column product; the two formulations are equivalent SPJ(U)
+    expressions and this one keeps the column bookkeeping simpler.
+    """
+    e = algebra.Relation("E")
+    nodes = e.project(0).union(e.project(1))  # V as a unary relation
+    return nodes.product(nodes)
+
+
+def diagonal_transaction() -> AlgebraTransaction:
+    """``T1`` of Proposition 1: produce the diagonal ``{(x, x) | x in V}``."""
+    pairs = _node_pairs_product()
+    diagonal = pairs.select(algebra.ColumnEqualsColumn(0, 1)).project(0, 1)
+    return AlgebraTransaction({"E": diagonal}, name="T1-diagonal")
+
+
+def complete_graph_transaction() -> AlgebraTransaction:
+    """``T2`` of Proposition 1: produce the complete loop-free graph on ``V``."""
+    pairs = _node_pairs_product()
+    complete = pairs.select(algebra.ColumnNotEqualsColumn(0, 1)).project(0, 1)
+    return AlgebraTransaction({"E": complete}, name="T2-complete")
+
+
+def copy_relation_transaction(
+    source: str, target: str, schema: Schema
+) -> AlgebraTransaction:
+    """Copy one relation onto another of the same arity (a simple SPJ update)."""
+    if schema[source].arity != schema[target].arity:
+        raise TransactionError(
+            f"cannot copy {source!r} (arity {schema[source].arity}) onto "
+            f"{target!r} (arity {schema[target].arity})"
+        )
+    return AlgebraTransaction(
+        {target: algebra.Relation(source)}, schema=schema, name=f"copy-{source}-to-{target}"
+    )

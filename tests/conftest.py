@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+The fixtures precompute the small exhaustive graph families that many tests
+sweep over, so that the (exponential) enumerations are done once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    all_graphs,
+    all_graphs_up_to_iso,
+    chain,
+    chain_and_cycles,
+    cycle,
+    diagonal_graph,
+    linear_order,
+    random_graph,
+    two_branch_tree,
+)
+
+
+@pytest.fixture(scope="session")
+def graphs_2():
+    """All directed graphs (with loops) over subsets of {0, 1}: 16 graphs."""
+    return list(all_graphs(2))
+
+
+@pytest.fixture(scope="session")
+def graphs_3():
+    """All directed graphs (with loops) over subsets of {0, 1, 2}: 512 graphs."""
+    return list(all_graphs(3))
+
+
+@pytest.fixture(scope="session")
+def graphs_3_loopfree():
+    """All loop-free directed graphs over subsets of {0, 1, 2}: 64 graphs."""
+    return list(all_graphs(3, loops=False))
+
+
+@pytest.fixture(scope="session")
+def graphs_iso_3():
+    """One representative per isomorphism class of graphs on at most 3 nodes."""
+    return all_graphs_up_to_iso(3)
+
+
+@pytest.fixture(scope="session")
+def assorted_graphs():
+    """A mixed bag of named graph families used by integration-style tests."""
+    return [
+        chain(2),
+        chain(5),
+        cycle(3),
+        cycle(6),
+        chain_and_cycles(3, [4]),
+        chain_and_cycles(4, [2, 3]),
+        two_branch_tree(2, 2),
+        two_branch_tree(3, 5),
+        diagonal_graph([1, 2, 3]),
+        linear_order(4),
+        random_graph(5, 0.3, seed=7),
+        random_graph(6, 0.2, seed=11),
+    ]

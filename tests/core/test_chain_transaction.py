@@ -1,0 +1,181 @@
+"""Tests for the Theorem 7 transaction and its weakest-precondition calculators."""
+
+import pytest
+
+from repro.db import (
+    Database,
+    chain,
+    chain_and_cycles,
+    cycle,
+    diagonal_graph,
+    linear_order,
+    transitive_closure,
+    two_branch_tree,
+)
+from repro.fmt import BasicLocalSentence, LocalFormula, loop_local_formula
+from repro.fmt.degree import degree_count
+from repro.logic import evaluate, parse
+from repro.logic.builder import (
+    alpha_isolated_exactly,
+    at_least_n_elements,
+    has_nonloop_edge,
+    has_some_edge,
+    totally_connected,
+)
+from repro.core import (
+    ChainTransaction,
+    ChainWpcCalculator,
+    WpcError,
+    chain_transaction_datalog,
+    check_wpc,
+    diagonal_truth_profile,
+    find_wpc_counterexample,
+    linear_order_truth_profile,
+)
+from repro.transactions import is_generic_on
+
+
+CONSTRAINTS = [
+    totally_connected(),
+    has_some_edge(),
+    has_nonloop_edge(),
+    parse("forall x . E(x, x)"),
+    parse("forall x . exists y . E(x, y)"),
+    parse("exists x . forall y . ~E(x, y)"),
+    at_least_n_elements(3),
+    alpha_isolated_exactly(2),
+]
+
+
+class TestChainTransactionSemantics:
+    def test_cc_graph_maps_to_linear_order_of_chain(self):
+        T = ChainTransaction()
+        g = chain_and_cycles(4, [3, 2])
+        result = T.apply(g)
+        assert result == transitive_closure(chain(4))
+        # the cycle components disappear entirely
+        assert len(result.nodes) == 4
+
+    def test_plain_chain(self):
+        T = ChainTransaction()
+        assert T.apply(chain(5)) == linear_order(5)
+
+    def test_non_cc_graph_maps_to_diagonal(self):
+        T = ChainTransaction()
+        for g in [cycle(4), two_branch_tree(2, 2), Database.graph([(1, 1)])]:
+            assert T.apply(g) == diagonal_graph(g.active_domain)
+
+    def test_empty_graph(self):
+        assert ChainTransaction().apply(Database.empty()).is_empty()
+
+    def test_generic_and_polynomial(self):
+        T = ChainTransaction()
+        assert is_generic_on(T, [chain(4), cycle(3), chain_and_cycles(3, [2])],
+                             extra_universe=[91, 92])
+
+    def test_datalog_form_agrees(self, graphs_3, assorted_graphs):
+        T, D = ChainTransaction(), chain_transaction_datalog()
+        for g in list(graphs_3[:128]) + assorted_graphs:
+            assert D.apply(g) == T.apply(g)
+
+
+class TestTruthProfiles:
+    def test_diagonal_profile(self):
+        profile = diagonal_truth_profile(at_least_n_elements(2), 4)
+        assert profile == [False, False, True, True, True]
+
+    def test_linear_order_profile(self):
+        profile = linear_order_truth_profile(totally_connected(), 3)
+        # L_0 and L_1 have no edges at all: the constraint holds vacuously /
+        # on the empty domain; L_2, L_3 are not complete with loops
+        assert profile[0] is True
+        assert profile[2] is False and profile[3] is False
+
+
+class TestChainWpc:
+    """T is in WPC(FO): the computed preconditions are exact."""
+
+    @pytest.mark.parametrize("constraint", CONSTRAINTS, ids=[str(c)[:28] for c in CONSTRAINTS])
+    def test_wpc_exact_on_small_graphs(self, constraint, graphs_3):
+        T = ChainTransaction()
+        precondition = ChainWpcCalculator(T).wpc(constraint)
+        witness = find_wpc_counterexample(T, constraint, precondition, graphs_3[:256])
+        assert witness is None, witness
+
+    @pytest.mark.parametrize("constraint", CONSTRAINTS[:6], ids=[str(c)[:28] for c in CONSTRAINTS[:6]])
+    def test_wpc_exact_on_named_families(self, constraint, assorted_graphs):
+        T = ChainTransaction()
+        precondition = ChainWpcCalculator(T).wpc(constraint)
+        witness = find_wpc_counterexample(T, constraint, precondition, assorted_graphs)
+        assert witness is None, witness
+
+    def test_wpc_on_larger_cc_graphs(self):
+        T = ChainTransaction()
+        calculator = ChainWpcCalculator(T)
+        constraint = parse("forall x . exists y . E(x, y) | E(y, x)")
+        precondition = calculator.wpc(constraint)
+        family = [chain_and_cycles(n, cycles) for n in (2, 5, 9) for cycles in ((), (3,), (2, 4))]
+        assert check_wpc(T, constraint, precondition, family)
+
+    def test_wpc_requires_pure_fo(self):
+        calculator = ChainWpcCalculator()
+        with pytest.raises(WpcError):
+            calculator.wpc(parse("E(1, 2)"))       # constants: Proposition 5 territory
+        with pytest.raises(WpcError):
+            calculator.wpc(parse("E(x, y)"))       # not a sentence
+
+    def test_corollary3_rank_blowup(self):
+        """Corollary 3: for each n there is a rank-n sentence whose wpc has rank >= 2^n."""
+        calculator = ChainWpcCalculator()
+        witnesses = {
+            2: has_some_edge(),
+            3: parse("exists x y z . E(x, y) & E(y, z) & x != z"),
+        }
+        for n, constraint in witnesses.items():
+            assert constraint.quantifier_rank() == n
+            precondition = calculator.wpc(constraint)
+            assert precondition.quantifier_rank() >= 2 ** n, (n, precondition.quantifier_rank())
+
+
+class TestBasicLocalWpc:
+    """The paper's literal case analysis for Gaifman basic local sentences."""
+
+    def test_case2_r_zero(self, graphs_3):
+        # two scattered loops (r = 0)
+        sentence = BasicLocalSentence(2, 0, loop_local_formula())
+        T = ChainTransaction()
+        precondition = ChainWpcCalculator(T).wpc_basic_local(sentence)
+        witness = find_wpc_counterexample(
+            T, sentence.as_formula(), precondition, graphs_3[:200]
+        )
+        assert witness is None, witness
+
+    def test_case1_two_distant_witnesses(self, graphs_3):
+        sentence = BasicLocalSentence(2, 1, LocalFormula("x", 1, parse("exists y . E(x, y)")))
+        T = ChainTransaction()
+        precondition = ChainWpcCalculator(T).wpc_basic_local(sentence)
+        witness = find_wpc_counterexample(
+            T, sentence.as_formula(), precondition, graphs_3[:200]
+        )
+        assert witness is None, witness
+
+    def test_case3_single_witness(self, graphs_2, assorted_graphs):
+        sentence = BasicLocalSentence(1, 1, LocalFormula("x", 1, parse("exists y . E(x, y) & x != y")))
+        T = ChainTransaction()
+        precondition = ChainWpcCalculator(T).wpc_basic_local(sentence)
+        witness = find_wpc_counterexample(
+            T, sentence.as_formula(), precondition, list(graphs_2) + assorted_graphs
+        )
+        assert witness is None, witness
+
+
+class TestNotInPRFO:
+    """T is not in PR(FO): on chains it computes tc, violating bounded degrees."""
+
+    def test_degree_count_blows_up_on_chains(self):
+        T = ChainTransaction()
+        counts = [degree_count(T.apply(chain(n))) for n in (4, 8, 16)]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+        # while the inputs all have the same degree count
+        assert len({degree_count(chain(n)) for n in (4, 8, 16)}) == 1

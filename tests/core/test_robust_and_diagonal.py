@@ -1,0 +1,235 @@
+"""Tests for robust verifiability (Section 5) and the Theorem 5 diagonalisation."""
+
+import pytest
+
+from repro.db import Database, all_graphs, chain, chain_and_cycles, cycle
+from repro.logic import (
+    InterpretedPredicate,
+    Signature,
+    arithmetic_signature,
+    evaluate,
+    parse,
+    successor_signature,
+    EMPTY_SIGNATURE,
+)
+from repro.logic.builder import psi_cc
+from repro.core import (
+    ChainTransaction,
+    DiagonalConstruction,
+    PrerelationSpec,
+    SemanticPrecondition,
+    SentenceEnumeration,
+    WpcCalculator,
+    chain_test_reduction,
+    describe_graph_exactly,
+    erase_constants,
+    find_wpc_counterexample,
+    generic_prerelation_from_wpc,
+    proposition5_constraint,
+    robustness_check,
+)
+from repro.logic.rewrite import AtomDefinition
+from repro.transactions import (
+    FOProgram,
+    IdentityTransaction,
+    InsertWhere,
+    TransactionLanguage,
+    complete_graph_transaction,
+    diagonal_transaction,
+    tc_transaction,
+)
+
+
+class TestRobustness:
+    """Theorem 8 / Theorem E: prerelation transactions stay verifiable under
+    every signature extension."""
+
+    def test_robust_under_stock_extensions(self, graphs_2):
+        program = FOProgram([InsertWhere("E", ("x", "y"), parse("E(y, x)"))], name="sym")
+        spec = PrerelationSpec.from_fo_program(program)
+        constraints = [
+            ("no-loops", parse("forall x . ~E(x, x)")),
+            ("has-edge", parse("exists x y . E(x, y)")),
+            ("symmetric", parse("forall x y . E(x, y) -> E(y, x)")),
+        ]
+        extensions = [EMPTY_SIGNATURE, successor_signature(), arithmetic_signature()]
+        result = robustness_check(spec, constraints, extensions, graphs_2)
+        assert result.all_correct
+        assert len(result.entries) == len(constraints) * len(extensions)
+
+    def test_robust_with_omega_constraints(self, graphs_2):
+        # the constraint itself uses a predicate from the extension
+        program = FOProgram([InsertWhere("E", ("x", "y"), parse("E(y, x)"))], name="sym")
+        spec = PrerelationSpec.from_fo_program(program)
+        constraint = parse("forall x y . E(x, y) -> leq(x, y) | leq(y, x)", predicates=["leq"])
+        precondition = WpcCalculator(spec).wpc(constraint)
+        witness = find_wpc_counterexample(
+            spec.as_transaction(), constraint, precondition, graphs_2,
+            signature=arithmetic_signature(),
+        )
+        assert witness is None
+
+    def test_extension_mismatch_rejected(self, graphs_2):
+        program = FOProgram([InsertWhere("E", ("x", "y"), parse("E(y, x)"))], name="sym")
+        spec = PrerelationSpec.from_fo_program(program)
+        unrelated = Signature(predicates=(InterpretedPredicate("p", 1, lambda x: True),))
+        # unrelated does extend the empty signature, so this succeeds;
+        # a spec with its own symbols must be extended properly
+        assert robustness_check(spec, [("t", parse("true"))], [unrelated], graphs_2).all_correct
+
+
+class TestProposition5:
+    """With constants, the Theorem 7 transaction loses its preconditions."""
+
+    def test_constraint_shape(self):
+        alpha = proposition5_constraint("c")
+        assert "c" in {str(v) for v in alpha.constants()} or alpha.constants() == {"c"}
+        g = chain(3)  # c not a node, has a non-loop edge
+        assert evaluate(alpha, g)
+        assert not evaluate(alpha, Database.graph([("c", 1)]))
+
+    def test_candidate_preconditions_fail(self):
+        """Every 'reasonable' FOc candidate disagrees with the semantic precondition
+        somewhere — the experiment's executable rendering of Proposition 5."""
+        T = ChainTransaction()
+        family = (
+            [chain(n) for n in (2, 3, 4, 5)]
+            + [chain_and_cycles(n, [3]) for n in (2, 3, 4)]
+            + [cycle(4), Database.graph([("c", "c")])]
+            # graphs in which the constant c actually occurs: on the chain
+            # component (so it survives into T(G)) and on a cycle component
+            # (so it disappears from T(G)) — the crux of the Prop. 5 argument
+            + [
+                chain(3, labels=["c", 1, 2]),
+                chain(3, labels=[1, "c", 2]),
+                chain_and_cycles(2, [3], labels=[0, 1, "c", 3, 4]),
+            ]
+        )
+        candidates = [
+            parse("true"),
+            parse("false"),
+            psi_cc(),
+            parse("exists x y . E(x, y) & x != y"),
+            proposition5_constraint("c"),
+        ]
+        for candidate in candidates:
+            assert chain_test_reduction(candidate, "c", family, T) is not None
+
+    def test_semantic_precondition_still_works(self):
+        # the non-syntactic oracle is of course exact -- the point of Prop. 5 is
+        # that no FOc sentence can replace it
+        T = ChainTransaction()
+        alpha = proposition5_constraint("c")
+        oracle = SemanticPrecondition(T, alpha)
+        family = [chain(4), chain_and_cycles(3, [2]), cycle(3)]
+        assert find_wpc_counterexample(T, alpha, oracle, family) is None
+
+
+class TestProposition4Construction:
+    """Generic transactions in WPC(FOc) admit prerelations: the constructive proof."""
+
+    def test_prerelation_recovered_for_fo_definable_transaction(self, graphs_2):
+        # use the symmetric-closure transaction; its wpc oracle for E(c, d) is
+        # computed with the Theorem 8 calculator
+        program = FOProgram([InsertWhere("E", ("x", "y"), parse("E(y, x)"))], name="sym")
+        spec = PrerelationSpec.from_fo_program(program)
+        calculator = WpcCalculator(spec)
+
+        def wpc_of_edge_atom(c, d):
+            from repro.logic.syntax import Atom
+            from repro.logic.terms import Const
+
+            return calculator.wpc(Atom("E", Const(c), Const(d)))
+
+        definition = generic_prerelation_from_wpc(wpc_of_edge_atom)
+        # the recovered beta(x, y) defines the transaction on sample graphs
+        transaction = spec.as_transaction()
+        recovered = PrerelationSpec.for_graph(definition.body, definition.variables,
+                                              name="recovered")
+        recovered_transaction = recovered.as_transaction()
+        for g in graphs_2:
+            assert recovered_transaction.apply(g) == transaction.apply(g)
+
+    def test_erase_constants(self):
+        formula = parse("E(x, 7) | (E(x, y) & x = 3)")
+        erased = erase_constants(formula, {7, 3})
+        assert erased.constants() == frozenset()
+        # erasing is sound for graphs avoiding the constants
+        g = Database.graph([(1, 2)])
+        assert evaluate(erased, g, assignment={"x": 1, "y": 2}) == evaluate(
+            formula, g, assignment={"x": 1, "y": 2}
+        )
+
+
+class TestDiagonalisation:
+    """Theorem 5: the constructed transaction diagonalises any enumeration yet
+    stays in WPC(FOc(Omega))."""
+
+    @pytest.fixture(scope="class")
+    def construction(self):
+        language = TransactionLanguage(
+            "toy",
+            transactions=[
+                IdentityTransaction(),
+                tc_transaction(),
+                diagonal_transaction(),
+                complete_graph_transaction(),
+            ],
+        )
+        return DiagonalConstruction(language, search_limit=3000)
+
+    def test_p_and_q_are_strictly_monotone(self, construction):
+        values_p = [construction.P(n) for n in range(1, 4)]
+        values_q = [construction.Q(n) for n in range(1, 4)]
+        assert values_p == sorted(set(values_p))
+        assert all(p < q for p, q in zip(values_p, values_q))
+
+    def test_h_pairs_are_equivalent_but_distinct(self, construction):
+        i, j = construction.H(1, 2)
+        assert construction.graphs[i] != construction.graphs[j]
+        assert construction.sentences.equivalent_n(
+            construction.graphs[i], construction.graphs[j], 2
+        )
+
+    def test_transaction_diagonalises_every_language_member(self, construction):
+        depth = 4
+        T = construction.transaction(depth)
+        for n in range(1, depth + 1):
+            g = construction.graphs[construction.P(n)]
+            assert T.apply(g) != construction.language[n - 1].apply(g)
+
+    def test_transaction_preserves_equivalence_classes(self, construction):
+        depth = 4
+        T = construction.transaction(depth)
+        for n in range(1, depth + 1):
+            index = construction.P(n)
+            g = construction.graphs[index]
+            # for i = P(j) the image is =_{j-1}-equivalent (and j - 1 >= n - 1
+            # by monotonicity), which is what Lemma 6 needs
+            assert construction.sentences.equivalent_n(T.apply(g), g, n - 1)
+
+    def test_lemma6_precondition_is_exact_on_prefix(self, construction):
+        T = construction.transaction(3)
+        stable = construction.P(3)
+        for sentence_index in (0, 1, 2):
+            precondition = T.weakest_precondition(sentence_index, stable)
+            phi = construction.sentences[sentence_index]
+            for i in range(50):
+                g = construction.graphs[i]
+                assert evaluate(precondition, g) == evaluate(phi, T.apply(g)), (sentence_index, i)
+
+    def test_describe_graph_exactly(self):
+        g = Database.graph([(1, 2), (2, 2)])
+        description = describe_graph_exactly(g)
+        assert evaluate(description, g)
+        assert not evaluate(description, Database.graph([(1, 2)]))
+        assert not evaluate(description, Database.graph([(1, 2), (2, 2), (2, 1)]))
+        empty_description = describe_graph_exactly(Database.empty())
+        assert evaluate(empty_description, Database.empty())
+        assert not evaluate(empty_description, g)
+
+    def test_sentence_enumeration_distinct(self):
+        enumeration = SentenceEnumeration()
+        assert len(enumeration) >= 16
+        vector = enumeration.truth_vector(chain(3), 10)
+        assert len(vector) == 10

@@ -1,0 +1,103 @@
+"""Tests for the relational algebra engine."""
+
+import pytest
+
+from repro.db import Database, GRAPH_SCHEMA, Schema
+from repro.db.algebra import (
+    AlgebraError,
+    And,
+    ColumnEqualsColumn,
+    ColumnEqualsConstant,
+    ColumnNotEqualsColumn,
+    ConstantRelation,
+    Not,
+    Or,
+    Projection,
+    Relation,
+    Selection,
+    evaluate,
+)
+
+
+@pytest.fixture
+def graph():
+    return Database.graph([(1, 2), (2, 3), (3, 1), (1, 1)])
+
+
+class TestBasicExpressions:
+    def test_relation_reference(self, graph):
+        assert evaluate(Relation("E"), graph) == graph.edges
+
+    def test_projection(self, graph):
+        sources = evaluate(Relation("E").project(0), graph)
+        assert sources == frozenset({(1,), (2,), (3,)})
+
+    def test_projection_duplicates_columns(self, graph):
+        doubled = evaluate(Relation("E").project(0, 0), graph)
+        assert (1, 1) in doubled
+
+    def test_projection_out_of_range(self, graph):
+        with pytest.raises(AlgebraError):
+            evaluate(Relation("E").project(5), graph)
+
+    def test_selection_equality(self, graph):
+        loops = evaluate(Relation("E").select(ColumnEqualsColumn(0, 1)), graph)
+        assert loops == frozenset({(1, 1)})
+
+    def test_selection_constant(self, graph):
+        from_one = evaluate(Relation("E").select(ColumnEqualsConstant(0, 1)), graph)
+        assert from_one == frozenset({(1, 2), (1, 1)})
+
+    def test_selection_out_of_range(self, graph):
+        with pytest.raises(AlgebraError):
+            evaluate(Relation("E").select(ColumnEqualsColumn(0, 7)), graph)
+
+    def test_product(self, graph):
+        nodes = Relation("E").project(0).union(Relation("E").project(1))
+        pairs = evaluate(nodes.product(nodes), graph)
+        assert len(pairs) == 9
+
+    def test_union_difference_intersection(self, graph):
+        e = Relation("E")
+        loops = e.select(ColumnEqualsColumn(0, 1))
+        assert evaluate(e.difference(loops), graph) == graph.edges - {(1, 1)}
+        assert evaluate(e.intersect(loops), graph) == frozenset({(1, 1)})
+        assert evaluate(e.union(loops), graph) == graph.edges
+
+    def test_set_operation_arity_mismatch(self, graph):
+        with pytest.raises(AlgebraError):
+            evaluate(Relation("E").union(Relation("E").project(0)), graph)
+
+    def test_constant_relation(self, graph):
+        const = ConstantRelation([(9, 9)])
+        assert evaluate(Relation("E").union(const), graph) == graph.edges | {(9, 9)}
+        with pytest.raises(AlgebraError):
+            ConstantRelation([(1,), (1, 2)])
+
+
+class TestConditions:
+    def test_boolean_combinations(self, graph):
+        cond = And(ColumnEqualsConstant(0, 1), Not(ColumnEqualsColumn(0, 1)))
+        rows = evaluate(Relation("E").select(cond), graph)
+        assert rows == frozenset({(1, 2)})
+
+    def test_or_condition(self, graph):
+        cond = Or(ColumnEqualsConstant(0, 2), ColumnEqualsConstant(0, 3))
+        rows = evaluate(Relation("E").select(cond), graph)
+        assert rows == frozenset({(2, 3), (3, 1)})
+
+    def test_not_equals(self, graph):
+        rows = evaluate(Relation("E").select(ColumnNotEqualsColumn(0, 1)), graph)
+        assert (1, 1) not in rows
+        assert len(rows) == 3
+
+
+class TestErrors:
+    def test_evaluate_requires_expression(self, graph):
+        with pytest.raises(AlgebraError):
+            evaluate("not an expression", graph)
+
+    def test_multi_relation_schema(self):
+        schema = Schema.of(R=1, S=1)
+        db = Database(schema, {"R": [(1,), (2,)], "S": [(2,)]})
+        assert evaluate(Relation("R").difference(Relation("S")), db) == frozenset({(1,)})

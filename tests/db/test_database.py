@@ -1,0 +1,136 @@
+"""Tests for the immutable Database value object."""
+
+import pytest
+
+from repro.db import Database, DatabaseError, GRAPH_SCHEMA, Schema
+
+
+class TestConstruction:
+    def test_empty(self):
+        db = Database.empty()
+        assert db.is_empty()
+        assert db.active_domain == frozenset()
+        assert db.cardinality() == 0
+
+    def test_graph_constructor(self):
+        db = Database.graph([(1, 2), (2, 3)])
+        assert db.edges == frozenset({(1, 2), (2, 3)})
+        assert db.nodes == frozenset({1, 2, 3})
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database(GRAPH_SCHEMA, {"R": [(1,)]})
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            Database(GRAPH_SCHEMA, {"E": [(1, 2, 3)]})
+
+    def test_duplicate_tuples_collapse(self):
+        db = Database.graph([(1, 2), (1, 2)])
+        assert db.cardinality("E") == 1
+
+    def test_multi_relation_schema(self):
+        schema = Schema.of(E=2, Account=2)
+        db = Database(schema, {"E": [(1, 2)], "Account": [("alice", 10)]})
+        assert db.cardinality() == 2
+        assert db.active_domain == frozenset({1, 2, "alice", 10})
+
+
+class TestAccessors:
+    def test_contains(self):
+        db = Database.graph([(1, 2)])
+        assert db.contains("E", (1, 2))
+        assert not db.contains("E", (2, 1))
+
+    def test_getitem(self):
+        db = Database.graph([(1, 2)])
+        assert db["E"] == frozenset({(1, 2)})
+        with pytest.raises(DatabaseError):
+            db["Missing"]
+
+    def test_degrees(self):
+        db = Database.graph([(1, 2), (1, 3), (2, 3)])
+        assert db.out_degree(1) == 2
+        assert db.in_degree(3) == 2
+        assert db.successors(1) == frozenset({2, 3})
+        assert db.predecessors(3) == frozenset({1, 2})
+
+    def test_iteration_yields_facts(self):
+        db = Database.graph([(1, 2), (0, 1)])
+        facts = list(db)
+        assert ("E", (0, 1)) in facts
+        assert ("E", (1, 2)) in facts
+        assert len(facts) == 2
+
+    def test_len(self):
+        assert len(Database.graph([(1, 2), (2, 1)])) == 2
+
+
+class TestFunctionalUpdates:
+    def test_insert_returns_new_database(self):
+        db = Database.graph([(1, 2)])
+        db2 = db.insert("E", (2, 3))
+        assert db.cardinality("E") == 1
+        assert db2.cardinality("E") == 2
+        assert db2.contains("E", (2, 3))
+
+    def test_delete(self):
+        db = Database.graph([(1, 2), (2, 3)])
+        db2 = db.delete("E", (1, 2))
+        assert db2.edges == frozenset({(2, 3)})
+        assert db.cardinality("E") == 2
+
+    def test_with_relation(self):
+        db = Database.graph([(1, 2)])
+        db2 = db.with_relation("E", [(5, 6)])
+        assert db2.edges == frozenset({(5, 6)})
+
+    def test_map_domain(self):
+        db = Database.graph([(1, 2), (2, 3)])
+        renamed = db.map_domain({1: "a", 2: "b", 3: "c"})
+        assert renamed.edges == frozenset({("a", "b"), ("b", "c")})
+
+    def test_map_domain_partial(self):
+        db = Database.graph([(1, 2)])
+        renamed = db.map_domain({1: 9})
+        assert renamed.edges == frozenset({(9, 2)})
+
+    def test_restrict_domain(self):
+        db = Database.graph([(1, 2), (2, 3), (3, 1)])
+        restricted = db.restrict_domain({1, 2})
+        assert restricted.edges == frozenset({(1, 2)})
+
+    def test_union_and_difference(self):
+        a = Database.graph([(1, 2)])
+        b = Database.graph([(2, 3)])
+        assert a.union(b).edges == frozenset({(1, 2), (2, 3)})
+        assert a.union(b).difference(b).edges == frozenset({(1, 2)})
+
+    def test_union_schema_mismatch(self):
+        a = Database.graph([(1, 2)])
+        other = Database(Schema.of(R=1), {"R": [(1,)]})
+        with pytest.raises(DatabaseError):
+            a.union(other)
+
+
+class TestEqualityAndIsomorphism:
+    def test_equality(self):
+        assert Database.graph([(1, 2)]) == Database.graph([(1, 2)])
+        assert Database.graph([(1, 2)]) != Database.graph([(2, 1)])
+
+    def test_hashable(self):
+        graphs = {Database.graph([(1, 2)]), Database.graph([(1, 2)]), Database.graph([])}
+        assert len(graphs) == 2
+
+    def test_isomorphic_chains(self):
+        a = Database.graph([(1, 2), (2, 3)])
+        b = Database.graph([("x", "y"), ("y", "z")])
+        assert a.is_isomorphic(b)
+
+    def test_not_isomorphic(self):
+        a = Database.graph([(1, 2), (2, 3)])
+        b = Database.graph([(1, 2), (3, 2)])
+        assert not a.is_isomorphic(b)
+
+    def test_empty_isomorphic(self):
+        assert Database.empty().is_isomorphic(Database.empty())

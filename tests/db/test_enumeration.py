@@ -1,0 +1,75 @@
+"""Tests for the effective graph enumerations used by Theorem 5."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.enumeration import (
+    GraphEnumeration,
+    IsomorphismFreeEnumeration,
+    count_graphs_on,
+    enumerate_graphs,
+)
+
+
+class TestEnumerateGraphs:
+    def test_first_graph_is_empty(self):
+        gen = enumerate_graphs()
+        assert next(gen).is_empty()
+
+    def test_no_duplicates_in_prefix(self):
+        enumeration = GraphEnumeration()
+        prefix = enumeration.prefix(60)
+        assert len({g.canonical_key() for g in prefix}) == 60
+
+    def test_every_small_graph_appears(self):
+        enumeration = GraphEnumeration()
+        prefix = enumeration.prefix(600)
+        seen = {g.canonical_key() for g in prefix}
+        # all graphs over {0, 1} (16 of them) appear early in the enumeration
+        from repro.db import all_graphs
+
+        for g in all_graphs(2):
+            assert g.canonical_key() in seen
+
+    def test_indexing_is_stable(self):
+        enumeration = GraphEnumeration()
+        a = enumeration[10]
+        b = enumeration[10]
+        assert a == b
+
+    def test_index_of_roundtrip(self):
+        enumeration = GraphEnumeration()
+        g = enumeration[25]
+        assert enumeration.index_of(g, search_limit=100) == 25
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            GraphEnumeration()[-1]
+
+
+class TestIsomorphismFreeEnumeration:
+    def test_pairwise_non_isomorphic(self):
+        enumeration = IsomorphismFreeEnumeration()
+        prefix = enumeration.prefix(10)
+        for i, a in enumerate(prefix):
+            for b in prefix[i + 1:]:
+                assert not a.is_isomorphic(b)
+
+    def test_canonical_representative(self):
+        enumeration = IsomorphismFreeEnumeration()
+        target = Database.graph([("a", "b")])
+        representative = enumeration.canonical_representative(target)
+        assert representative.is_isomorphic(target)
+
+    def test_prefix_validation(self):
+        with pytest.raises(ValueError):
+            IsomorphismFreeEnumeration().prefix(-1)
+
+
+class TestCounting:
+    def test_count_graphs_on(self):
+        assert count_graphs_on(0) == 1
+        assert count_graphs_on(2) == 16
+        assert count_graphs_on(2, loops=False) == 4
+        with pytest.raises(ValueError):
+            count_graphs_on(-1)

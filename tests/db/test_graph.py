@@ -1,0 +1,207 @@
+"""Tests for graph families, structural predicates and graph algorithms."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.graph import (
+    all_graphs,
+    all_graphs_up_to_iso,
+    binary_tree,
+    chain,
+    chain_and_cycles,
+    chain_component,
+    complete_graph,
+    connected_components,
+    cycle,
+    deterministic_transitive_closure,
+    diagonal_graph,
+    double_cycle_family,
+    is_chain,
+    is_chain_and_cycle_graph,
+    is_simple_cycle,
+    linear_order,
+    random_graph,
+    same_generation,
+    single_cycle_family,
+    star,
+    transitive_closure,
+    two_branch_tree,
+    weakly_connected,
+)
+
+
+class TestGenerators:
+    def test_chain_edges(self):
+        g = chain(4)
+        assert g.edges == frozenset({(0, 1), (1, 2), (2, 3)})
+        assert chain(0).is_empty()
+        assert chain(1).is_empty()
+
+    def test_chain_custom_labels(self):
+        g = chain(3, labels=["a", "b", "c"])
+        assert g.edges == frozenset({("a", "b"), ("b", "c")})
+
+    def test_cycle(self):
+        g = cycle(3)
+        assert g.edges == frozenset({(0, 1), (1, 2), (2, 0)})
+        assert cycle(1).edges == frozenset({(0, 0)})
+        with pytest.raises(ValueError):
+            cycle(0)
+
+    def test_chain_and_cycles(self):
+        g = chain_and_cycles(3, [2, 4])
+        assert len(g.nodes) == 9
+        assert is_chain_and_cycle_graph(g)
+        with pytest.raises(ValueError):
+            chain_and_cycles(1)
+
+    def test_two_branch_tree(self):
+        g = two_branch_tree(2, 3)
+        assert len(g.nodes) == 6
+        # the root has out-degree 2
+        assert g.out_degree(0) == 2
+        with pytest.raises(ValueError):
+            two_branch_tree(0, 2)
+
+    def test_linear_order(self):
+        g = linear_order(4)
+        assert len(g.edges) == 6
+        assert (0, 3) in g.edges
+        assert (3, 0) not in g.edges
+
+    def test_diagonal_and_complete(self):
+        d = diagonal_graph([1, 2])
+        assert d.edges == frozenset({(1, 1), (2, 2)})
+        k = complete_graph([1, 2, 3])
+        assert len(k.edges) == 6
+        assert (1, 1) not in k.edges
+
+    def test_cycle_families(self):
+        assert len(single_cycle_family(4).nodes) == 8
+        two = double_cycle_family(4)
+        assert len(two.nodes) == 8
+        assert len(connected_components(two)) == 2
+
+    def test_binary_tree(self):
+        t = binary_tree(3)
+        assert len(t.edges) == 14  # 2^(d+1) - 2
+        assert t.out_degree(1) == 2
+
+    def test_star(self):
+        s = star(4)
+        assert s.out_degree(0) == 4
+        assert all(s.in_degree(leaf) == 1 for leaf in range(1, 5))
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(6, 0.4, seed=1) == random_graph(6, 0.4, seed=1)
+        with pytest.raises(ValueError):
+            random_graph(3, 1.5)
+
+    def test_all_graphs_count(self):
+        assert sum(1 for _ in all_graphs(2)) == 2 ** 4
+        assert sum(1 for _ in all_graphs(2, loops=False)) == 2 ** 2
+
+    def test_all_graphs_up_to_iso_smaller(self):
+        full = sum(1 for _ in all_graphs(2))
+        reduced = len(all_graphs_up_to_iso(2))
+        assert reduced < full
+        # representatives are pairwise non-isomorphic
+        reps = all_graphs_up_to_iso(2)
+        for i, a in enumerate(reps):
+            for b in reps[i + 1:]:
+                assert not a.is_isomorphic(b)
+
+
+class TestStructuralPredicates:
+    def test_is_chain(self):
+        assert is_chain(chain(2))
+        assert is_chain(chain(5))
+        assert not is_chain(cycle(3))
+        assert not is_chain(Database.graph([]))
+        assert not is_chain(chain(3).union(chain(2, offset=10)))
+
+    def test_is_simple_cycle(self):
+        assert is_simple_cycle(cycle(3))
+        assert is_simple_cycle(cycle(1))  # a loop is a degenerate simple cycle
+        assert not is_simple_cycle(chain(3))
+        assert not is_simple_cycle(cycle(2).union(cycle(3, offset=5)))
+
+    def test_is_chain_and_cycle_graph(self):
+        assert is_chain_and_cycle_graph(chain(2))
+        assert is_chain_and_cycle_graph(chain_and_cycles(3, [4]))
+        assert is_chain_and_cycle_graph(chain_and_cycles(2, [1, 3]))
+        assert not is_chain_and_cycle_graph(cycle(4))
+        assert not is_chain_and_cycle_graph(two_branch_tree(2, 2))
+        assert not is_chain_and_cycle_graph(chain(2).union(chain(3, offset=10)))
+
+    def test_chain_component(self):
+        g = chain_and_cycles(4, [3])
+        comp = chain_component(g)
+        assert is_chain(comp)
+        assert len(comp.nodes) == 4
+        with pytest.raises(ValueError):
+            chain_component(cycle(3))
+
+    def test_connected_components(self):
+        g = chain(3).union(cycle(3, offset=10))
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert weakly_connected(chain(4))
+        assert not weakly_connected(g)
+        assert weakly_connected(Database.graph([]))
+
+
+class TestGraphAlgorithms:
+    def test_transitive_closure_of_chain_is_linear_order(self):
+        for n in (2, 3, 5, 8):
+            assert transitive_closure(chain(n)) == linear_order(n)
+
+    def test_transitive_closure_cycle(self):
+        g = transitive_closure(cycle(3))
+        # every pair (including loops) is connected by a path
+        assert len(g.edges) == 9
+
+    def test_transitive_closure_idempotent(self):
+        g = random_graph(5, 0.3, seed=3)
+        once = transitive_closure(g)
+        assert transitive_closure(once) == once
+
+    def test_dtc_on_chain_equals_tc(self):
+        g = chain(5)
+        assert deterministic_transitive_closure(g) == transitive_closure(g)
+
+    def test_dtc_respects_out_degree(self):
+        # node 0 has out-degree 2, so no deterministic path may start there
+        g = Database.graph([(0, 1), (0, 2), (1, 3)])
+        dtc = deterministic_transitive_closure(g)
+        assert (0, 3) not in dtc.edges
+        assert (1, 3) in dtc.edges
+        assert set(g.edges) <= set(dtc.edges)
+
+    def test_same_generation_on_tree(self):
+        g = two_branch_tree(2, 2)
+        sg = same_generation(g)
+        # nodes at equal depth in different branches are in the same generation
+        assert (1, 3) in sg.edges and (3, 1) in sg.edges
+        assert (2, 4) in sg.edges
+        # different depths are not
+        assert (1, 4) not in sg.edges
+        # every node is in its own generation (loop)
+        assert all((v, v) in sg.edges for v in g.nodes)
+
+    def test_same_generation_isolated_counts(self):
+        # In sg(G_{n,m}) the isolated (loop-only) nodes are the root plus the
+        # |n - m| levels of the deeper branch with no counterpart, so there are
+        # exactly |n - m| + 1 of them (the paper's "G_{n,m} |= beta_i iff
+        # |n - m| = i - 1").
+        def isolated_count(n, m):
+            sg = same_generation(two_branch_tree(n, m))
+            return sum(
+                1
+                for v in sg.nodes
+                if (v, v) in sg.edges and sg.out_degree(v) == 1 and sg.in_degree(v) == 1
+            )
+
+        assert isolated_count(2, 4) == 3
+        assert isolated_count(3, 3) == 1
+        assert isolated_count(2, 3) == 2

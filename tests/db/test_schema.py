@@ -1,0 +1,109 @@
+"""Tests for relational schemas."""
+
+import pytest
+
+from repro.db.schema import GRAPH_SCHEMA, RelationSchema, Schema, SchemaError
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        rel = RelationSchema("R", 3)
+        assert rel.name == "R"
+        assert rel.arity == 3
+        assert rel.attributes == ("c0", "c1", "c2")
+
+    def test_named_attributes(self):
+        rel = RelationSchema("Account", 2, ("owner", "balance"))
+        assert rel.position_of("balance") == 1
+        assert rel.position_of("owner") == 0
+
+    def test_unknown_attribute(self):
+        rel = RelationSchema("R", 1)
+        with pytest.raises(SchemaError):
+            rel.position_of("missing")
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 0)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", 1)
+
+    def test_attribute_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 2, ("only-one",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 2, ("a", "a"))
+
+    def test_validate_tuple(self):
+        rel = RelationSchema("R", 2)
+        assert rel.validate_tuple([1, 2]) == (1, 2)
+        with pytest.raises(SchemaError):
+            rel.validate_tuple((1, 2, 3))
+
+    def test_str(self):
+        assert str(RelationSchema("E", 2)) == "E/2"
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        schema = Schema.of(E=2, P=1)
+        assert schema.relation_names == ("E", "P")
+        assert schema.arity("E") == 2
+        assert schema.arity("P") == 1
+
+    def test_graph_schema(self):
+        assert "E" in GRAPH_SCHEMA
+        assert GRAPH_SCHEMA["E"].arity == 2
+        assert Schema.graph() is GRAPH_SCHEMA
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSchema("R", 1), RelationSchema("R", 2)])
+
+    def test_lookup_missing(self):
+        with pytest.raises(SchemaError):
+            GRAPH_SCHEMA["Missing"]
+        assert GRAPH_SCHEMA.get("Missing") is None
+
+    def test_extend(self):
+        extended = GRAPH_SCHEMA.extend(RelationSchema("P", 1))
+        assert set(extended.relation_names) == {"E", "P"}
+        # original untouched
+        assert GRAPH_SCHEMA.relation_names == ("E",)
+
+    def test_restrict(self):
+        schema = Schema.of(A=1, B=2, C=3)
+        restricted = schema.restrict(["A", "C"])
+        assert restricted.relation_names == ("A", "C")
+        with pytest.raises(SchemaError):
+            schema.restrict(["A", "Z"])
+
+    def test_equality_and_hash(self):
+        a = Schema.of(E=2)
+        b = Schema.of(E=2)
+        c = Schema.of(E=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_iteration_and_len(self):
+        schema = Schema.of(A=1, B=2)
+        assert len(schema) == 2
+        assert [rel.name for rel in schema] == ["A", "B"]
+
+    def test_non_relation_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["not a relation"])

@@ -1,0 +1,125 @@
+"""Tests for the transactional storage engine."""
+
+import pytest
+
+from repro.db import Database, GRAPH_SCHEMA, Schema, Store, StorageError, TransactionAborted
+
+
+@pytest.fixture
+def store():
+    return Store(GRAPH_SCHEMA, Database.graph([(1, 2), (2, 3)]))
+
+
+class TestBasics:
+    def test_snapshot_matches_initial(self, store):
+        assert store.snapshot() == Database.graph([(1, 2), (2, 3)])
+        assert store.cardinality("E") == 2
+
+    def test_schema_mismatch_rejected(self):
+        other = Database(Schema.of(R=1), {"R": [(1,)]})
+        with pytest.raises(StorageError):
+            Store(GRAPH_SCHEMA, other)
+
+    def test_writes_require_transaction(self, store):
+        with pytest.raises(StorageError):
+            store.insert("E", (9, 9))
+        with pytest.raises(StorageError):
+            store.delete("E", (1, 2))
+        with pytest.raises(StorageError):
+            store.commit()
+
+    def test_contains_and_scan(self, store):
+        assert store.contains("E", (1, 2))
+        assert set(store.scan("E")) == {(1, 2), (2, 3)}
+
+
+class TestTransactions:
+    def test_commit_applies_writes(self, store):
+        store.begin()
+        assert store.insert("E", (3, 4))
+        assert store.delete("E", (1, 2))
+        store.commit()
+        assert store.snapshot() == Database.graph([(2, 3), (3, 4)])
+        assert store.stats.committed == 1
+
+    def test_rollback_undoes_everything(self, store):
+        before = store.snapshot()
+        store.begin()
+        store.insert("E", (3, 4))
+        store.insert("E", (4, 5))
+        store.delete("E", (1, 2))
+        undone = store.rollback()
+        assert undone == 3
+        assert store.snapshot() == before
+        assert store.stats.aborted == 1
+
+    def test_noop_writes_not_logged(self, store):
+        store.begin()
+        assert not store.insert("E", (1, 2))      # already present
+        assert not store.delete("E", (9, 9))      # never present
+        assert store.rollback() == 0
+
+    def test_nested_begin_rejected(self, store):
+        store.begin()
+        with pytest.raises(StorageError):
+            store.begin()
+        store.rollback()
+
+    def test_apply_database(self, store):
+        target = Database.graph([(7, 8)])
+        store.begin()
+        store.apply_database(target)
+        store.commit()
+        assert store.snapshot() == target
+
+    def test_commit_unchecked_skips_checkers(self, store):
+        store.register_checker("never", lambda db: False)
+        store.begin()
+        store.insert("E", (9, 9))
+        store.commit_unchecked()
+        assert store.contains("E", (9, 9))
+
+
+class TestIntegrityCheckers:
+    def test_checker_accepts(self, store):
+        store.register_checker("at-most-5", lambda db: db.cardinality("E") <= 5)
+        store.begin()
+        store.insert("E", (3, 4))
+        store.commit()
+        assert store.cardinality("E") == 3
+
+    def test_checker_rejects_and_rolls_back(self, store):
+        store.register_checker("at-most-2", lambda db: db.cardinality("E") <= 2)
+        store.begin()
+        store.insert("E", (3, 4))
+        with pytest.raises(TransactionAborted):
+            store.commit()
+        assert store.cardinality("E") == 2
+        assert store.stats.aborted == 1
+        assert not store.in_transaction
+
+    def test_run_helper_commits(self, store):
+        ok = store.run(lambda s: s.insert("E", (5, 6)))
+        assert ok
+        assert store.contains("E", (5, 6))
+
+    def test_run_helper_rolls_back_on_violation(self, store):
+        store.register_checker("no-loops", lambda db: all(x != y for x, y in db.relation("E")))
+        ok = store.run(lambda s: s.insert("E", (7, 7)))
+        assert not ok
+        assert not store.contains("E", (7, 7))
+
+    def test_run_helper_propagates_unexpected_errors(self, store):
+        def body(s):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            store.run(body)
+        assert not store.in_transaction
+
+    def test_checker_names(self, store):
+        store.register_checker("a", lambda db: True)
+        store.register_checker("b", lambda db: True)
+        assert store.checker_names == ("a", "b")
+        store.clear_checkers()
+        assert store.checker_names == ()

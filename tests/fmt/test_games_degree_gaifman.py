@@ -1,0 +1,240 @@
+"""Tests for EF games, Ajtai-Fagin machinery, degree counts and Gaifman locality."""
+
+import pytest
+
+from repro.db import (
+    Database,
+    binary_tree,
+    chain,
+    cycle,
+    diagonal_graph,
+    double_cycle_family,
+    linear_order,
+    single_cycle_family,
+    transitive_closure,
+    two_branch_tree,
+)
+from repro.fmt import (
+    BasicLocalSentence,
+    LocalFormula,
+    collapse_branch,
+    degree_count,
+    dist_at_most,
+    dist_greater_than,
+    distinguishing_rank,
+    duplicator_wins,
+    duplicator_wins_af_game,
+    ef_equivalent_linear_orders,
+    in_degrees,
+    isolated_loop_local_formula,
+    lemma4_bound,
+    lemma4_find_pair,
+    loop_local_formula,
+    max_degree,
+    out_degrees,
+    paper_duplicator_response,
+    partial_isomorphism,
+    relativize_to_ball,
+    violates_degree_bound,
+)
+from repro.fmt.hanf import same_type_counts
+from repro.logic import evaluate, parse
+from repro.logic.monadic import color_graph
+
+
+class TestPartialIsomorphism:
+    def test_empty_map(self):
+        assert partial_isomorphism(chain(3), chain(4), (), ())
+
+    def test_edge_preservation(self):
+        assert partial_isomorphism(chain(3), chain(3), (0, 1), (0, 1))
+        assert not partial_isomorphism(chain(3), chain(3), (0, 1), (0, 2))
+
+    def test_injectivity(self):
+        assert not partial_isomorphism(chain(3), chain(3), (0, 1), (0, 0))
+
+    def test_loops_respected(self):
+        a = Database.graph([(1, 1)])
+        b = Database.graph([(1, 2)])
+        assert not partial_isomorphism(a, b, (1,), (1,))
+
+
+class TestEFGames:
+    def test_isomorphic_graphs_always_duplicator(self):
+        assert duplicator_wins(chain(3), chain(3, labels=["a", "b", "c"]), 3)
+
+    def test_chain_lengths_distinguished_at_low_rank(self):
+        # chain(2) has 2 nodes, chain(4) has 4: rank-2 sentences tell them apart
+        rank = distinguishing_rank(chain(2), chain(4), 3)
+        assert rank is not None and rank <= 2
+
+    def test_diagonal_graphs_need_size_many_rounds(self):
+        small, large = diagonal_graph(range(3)), diagonal_graph(range(4))
+        assert duplicator_wins(small, large, 3)
+        assert not duplicator_wins(small, large, 4)
+
+    def test_cycle_families_low_rank_equivalence(self):
+        one = single_cycle_family(3)   # a 6-cycle
+        two = double_cycle_family(3)   # two 3-cycles
+        assert duplicator_wins(one, two, 2)
+        # they are NOT isomorphic, and a high enough rank separates them
+        assert not one.is_isomorphic(two)
+
+    def test_empty_vs_nonempty(self):
+        assert not duplicator_wins(Database.empty(), chain(2), 1)
+        assert duplicator_wins(Database.empty(), Database.empty(), 3)
+
+    def test_game_agrees_with_fo_truth(self, graphs_2):
+        # if the duplicator wins k rounds, no sentence of rank <= k separates
+        # the structures; spot-check with a bank of rank-2 sentences
+        sentences = [
+            parse("exists x . E(x, x)"),
+            parse("exists x y . E(x, y)"),
+            parse("forall x . exists y . E(x, y)"),
+            parse("forall x y . E(x, y)"),
+            parse("exists x . forall y . ~E(y, x)"),
+        ]
+        pairs = [(graphs_2[3], graphs_2[5]), (graphs_2[7], graphs_2[11])]
+        for a, b in pairs:
+            if duplicator_wins(a, b, 2):
+                for sentence in sentences:
+                    assert evaluate(sentence, a) == evaluate(sentence, b)
+
+    def test_linear_order_criterion(self):
+        assert ef_equivalent_linear_orders(10, 12, 3)      # both >= 2^3 - 1
+        assert not ef_equivalent_linear_orders(3, 12, 3)
+        assert ef_equivalent_linear_orders(5, 5, 10)
+        # cross-check the criterion against the actual game on small orders
+        # (sizes >= 2, because L_0 and L_1 coincide as edge-only databases)
+        assert duplicator_wins(linear_order(3), linear_order(4), 2) == \
+            ef_equivalent_linear_orders(3, 4, 2)
+        assert duplicator_wins(linear_order(2), linear_order(3), 1) == \
+            ef_equivalent_linear_orders(2, 3, 1)
+        assert duplicator_wins(linear_order(2), linear_order(4), 2) == \
+            ef_equivalent_linear_orders(2, 4, 2)
+
+
+class TestDegreeCounts:
+    def test_chain_degree_count_is_constant(self):
+        for n in (2, 5, 9):
+            assert degree_count(chain(n)) == 4  # in-degrees {0,1} + out-degrees {0,1}
+
+    def test_transitive_closure_blows_up_degree_count(self):
+        # dc(tc(chain(n))) grows with n: the bounded degree property fails
+        assert degree_count(transitive_closure(chain(10))) == 20
+        assert degree_count(transitive_closure(chain(20))) == 40
+
+    def test_degree_maps(self):
+        g = Database.graph([(0, 1), (0, 2), (1, 2)])
+        assert out_degrees(g)[0] == 2
+        assert in_degrees(g)[2] == 2
+        assert max_degree(g) == 2
+
+    def test_violates_degree_bound(self):
+        violated, evidence = violates_degree_bound(
+            transitive_closure, [chain(n) for n in (4, 8, 12)], lambda dc: dc + 3
+        )
+        assert violated
+        assert evidence["output_dc"] > evidence["allowed"]
+
+    def test_identity_respects_degree_bound(self):
+        violated, _ = violates_degree_bound(
+            lambda g: g, [binary_tree(3), chain(6)], lambda dc: dc
+        )
+        assert not violated
+
+
+class TestGaifmanLocality:
+    def test_distance_formulas(self):
+        g = chain(5)
+        close = dist_at_most("x", "y", 2)
+        assert evaluate(close, g, assignment={"x": 0, "y": 2})
+        assert not evaluate(close, g, assignment={"x": 0, "y": 3})
+        far = dist_greater_than("x", "y", 2)
+        assert evaluate(far, g, assignment={"x": 0, "y": 4})
+
+    def test_distance_is_undirected(self):
+        g = chain(4)
+        assert evaluate(dist_at_most("x", "y", 1), g, assignment={"x": 2, "y": 1})
+
+    def test_relativize_to_ball(self):
+        # "some node within distance 1 of x has a successor"
+        inner = parse("exists y . E(y, z) & true")
+        # use a simple formula: exists y . E(x, y) relativised to radius 0 ball
+        formula = relativize_to_ball(parse("exists y . E(x, y)"), "x", 0)
+        g = chain(3)
+        # radius-0 ball around x is {x}; E(x, x) fails on a chain
+        assert not evaluate(formula, g, assignment={"x": 0})
+
+    def test_basic_local_sentence_scattered_loops(self):
+        sentence = BasicLocalSentence(2, 0, loop_local_formula())
+        assert sentence.holds(diagonal_graph([1, 2]))
+        assert not sentence.holds(diagonal_graph([1]))
+        assert not sentence.holds(chain(4))
+
+    def test_basic_local_sentence_scattering_condition(self):
+        # two witnesses with an out-neighbour at mutual distance > 2: needs a
+        # long chain, not a short one
+        sentence = BasicLocalSentence(2, 1, LocalFormula("x", 1, parse("exists y . E(x, y)")))
+        assert sentence.holds(chain(6))
+        assert not sentence.holds(chain(3))
+
+    def test_isolated_loop_local_formula(self):
+        sentence = BasicLocalSentence(1, 1, isolated_loop_local_formula())
+        assert sentence.holds(diagonal_graph([5]))
+        assert not sentence.holds(chain(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BasicLocalSentence(0, 1, loop_local_formula())
+        with pytest.raises(ValueError):
+            LocalFormula("x", 1, parse("E(x, y)")).free_variable_check()
+
+
+class TestAjtaiFagin:
+    def test_lemma4_bound_positive(self):
+        assert lemma4_bound(1, 2) > 0
+        with pytest.raises(ValueError):
+            lemma4_bound(0, 1)
+
+    def test_lemma4_finds_pair_in_alternating_partition(self):
+        assignment = [0, 1] * 6
+        pair = lemma4_find_pair(assignment, 1)
+        assert pair is not None
+        i1, i2 = pair
+        assert assignment[i1] == assignment[i2]
+
+    def test_lemma4_guarantee_above_bound(self):
+        # any partition of a long enough interval into 2 classes has the pair
+        length = lemma4_bound(1, 2) + 1
+        assignment = [(i * 7 + i // 3) % 2 for i in range(length)]
+        assert lemma4_find_pair(assignment, 1) is not None
+
+    def test_lemma4_can_fail_below_bound(self):
+        assert lemma4_find_pair([0, 1, 2, 3], 2) is None
+
+    def test_collapse_branch_shrinks_left_branch(self):
+        collapsed = collapse_branch(5, 1, 3, branch="left")
+        original = two_branch_tree(5, 5)
+        assert len(collapsed.nodes) == len(original.nodes) - 2
+        # the collapsed graph is G_{3,5} up to isomorphism
+        assert collapsed.is_isomorphic(two_branch_tree(3, 5))
+
+    def test_paper_duplicator_response_yields_hanf_equivalent_colored_graphs(self):
+        n, colors, d, m = 14, 1, 1, 2
+        coloring = {node: 0 for node in two_branch_tree(n, n).active_domain}
+        response = paper_duplicator_response(n, coloring, colors, d, m)
+        assert response is not None
+        collapsed, inherited, (a, b) = response
+        g1 = color_graph(two_branch_tree(n, n), coloring, colors)
+        g2 = color_graph(collapsed, inherited, colors)
+        from repro.fmt import hanf_equivalent
+
+        assert hanf_equivalent(g1, g2, d, m)
+
+    def test_af_game_small_instance(self):
+        # G = {G_{n,n}}: with 1 colour and 1 round the duplicator wins the
+        # Ajtai-Fagin game already on a tiny instance
+        chosen = two_branch_tree(2, 2)
+        alternatives = [two_branch_tree(1, 3), two_branch_tree(1, 2), two_branch_tree(2, 3)]
+        assert duplicator_wins_af_game(chosen, alternatives, colors=1, rounds=1)

@@ -1,0 +1,152 @@
+"""Tests for isomorphism testing, canonical forms and Hanf locality."""
+
+import pytest
+
+from repro.db import Database, chain, cycle, diagonal_graph, two_branch_tree
+from repro.fmt import (
+    are_isomorphic,
+    ball,
+    canonical_form,
+    color_refinement,
+    degree_bound,
+    gaifman_adjacency,
+    gaifman_distance,
+    hanf_equivalent,
+    hanf_threshold,
+    neighborhood,
+    neighborhood_type,
+    same_type_counts,
+    type_census,
+)
+
+
+class TestIsomorphism:
+    def test_relabelled_chains(self):
+        assert are_isomorphic(chain(4), chain(4, labels=["a", "b", "c", "d"]))
+
+    def test_chain_vs_cycle(self):
+        assert not are_isomorphic(chain(4), cycle(4))
+
+    def test_direction_matters(self):
+        a = Database.graph([(0, 1), (0, 2)])       # out-star
+        b = Database.graph([(1, 0), (2, 0)])       # in-star
+        assert not are_isomorphic(a, b)
+
+    def test_distinguished_points(self):
+        g = chain(3)
+        h = chain(3, labels=[10, 11, 12])
+        # root must map to root
+        assert are_isomorphic(g, h, distinguished_a=[0], distinguished_b=[10])
+        # root cannot map to the middle node
+        assert not are_isomorphic(g, h, distinguished_a=[0], distinguished_b=[11])
+
+    def test_empty_graphs(self):
+        assert are_isomorphic(Database.empty(), Database.empty())
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(chain(3), chain(4))
+
+    def test_canonical_form_complete_for_small_graphs(self, graphs_2):
+        for i, a in enumerate(graphs_2):
+            for b in graphs_2[i:]:
+                assert (canonical_form(a) == canonical_form(b)) == a.is_isomorphic(b)
+
+    def test_canonical_form_respects_distinguished_points(self):
+        g = chain(3)
+        assert canonical_form(g, (0,)) != canonical_form(g, (1,))
+        assert canonical_form(g, (0,)) == canonical_form(
+            chain(3, labels=["a", "b", "c"]), ("a",)
+        )
+
+    def test_color_refinement_distinguishes_positions(self):
+        colors = color_refinement(chain(4))
+        # the two interior nodes of a 4-chain have different colours from the ends
+        assert colors[0] != colors[1]
+        assert colors[0] != colors[3]
+
+
+class TestGaifmanDistance:
+    def test_adjacency_is_symmetric(self):
+        adjacency = gaifman_adjacency(chain(3))
+        assert 1 in adjacency[0] and 0 in adjacency[1]
+
+    def test_distance_on_chain(self):
+        distances = gaifman_distance(chain(5), 0)
+        assert distances[4] == 4
+        assert distances[0] == 0
+
+    def test_distance_ignores_direction(self):
+        distances = gaifman_distance(Database.graph([(1, 0), (1, 2)]), 0)
+        assert distances[2] == 2
+
+    def test_ball(self):
+        members = ball(chain(7), 3, 2)
+        assert members == frozenset({1, 2, 3, 4, 5})
+
+    def test_isolated_source(self):
+        assert gaifman_distance(chain(3), "zz") == {"zz": 0}
+
+
+class TestNeighborhoodsAndTypes:
+    def test_neighborhood_structure(self):
+        sub, centre = neighborhood(chain(7), 3, 1)
+        assert centre == 3
+        assert sub.nodes == frozenset({2, 3, 4})
+
+    def test_interior_chain_nodes_share_type(self):
+        g = chain(9)
+        t_three = neighborhood_type(g, 3, 1)
+        t_four = neighborhood_type(g, 4, 1)
+        t_end = neighborhood_type(g, 0, 1)
+        assert t_three == t_four
+        assert t_three != t_end
+
+    def test_type_census_totals(self):
+        g = chain(6)
+        census = type_census(g, 1)
+        assert sum(census.values()) == 6
+
+    def test_degree_bound(self):
+        assert degree_bound(chain(5)) == 2
+        assert degree_bound(two_branch_tree(3, 3)) == 2
+        assert degree_bound(Database.empty()) == 0
+
+
+class TestHanfEquivalence:
+    """The counting core of Claim 3 (Theorem 2) and Theorem 3."""
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_gnn_pairs_have_equal_type_counts(self, r):
+        # for n > 2r + 1 the graphs G_{n,n} and G_{n-1,n+1} realise every
+        # r-type the same number of times
+        n = 2 * r + 2
+        assert same_type_counts(
+            two_branch_tree(n, n), two_branch_tree(n - 1, n + 1), r
+        )
+
+    def test_small_gnn_pairs_can_differ(self):
+        # with n <= 2r + 1 the branch ends interfere and the counts differ
+        assert not same_type_counts(two_branch_tree(2, 2), two_branch_tree(1, 3), 2)
+
+    def test_cycle_families_equivalent(self):
+        # C^1_n (one 2n-cycle) and C^2_n (two n-cycles) realise the same
+        # r-types as soon as n is large enough relative to r
+        from repro.db import double_cycle_family, single_cycle_family
+
+        assert same_type_counts(single_cycle_family(4), double_cycle_family(4), 1)
+        # for radius 2 the cycles must be longer than 2r + 1 = 5 so that every
+        # 2-ball is a path rather than the whole cycle
+        assert same_type_counts(single_cycle_family(6), double_cycle_family(6), 2)
+        assert hanf_equivalent(single_cycle_family(6), double_cycle_family(6), 2, 3)
+
+    def test_hanf_equivalent_thresholding(self):
+        # chains of different lengths are d,m-equivalent once both are long:
+        # interior types occur >= m times in both
+        assert hanf_equivalent(chain(12), chain(15), 1, 3)
+        assert not hanf_equivalent(chain(3), chain(15), 1, 3)
+
+    def test_threshold_helper(self):
+        d, m = hanf_threshold(2)
+        assert d == 9 and m == 3
+        with pytest.raises(ValueError):
+            hanf_threshold(-1)

@@ -1,0 +1,42 @@
+"""The example scripts run end-to-end and report the expected shapes."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "guarded transaction refused to run" in out
+    assert "on the cleaned database it commits" in out
+
+
+def test_integrity_maintenance(capsys):
+    out = run_example("integrity_maintenance.py", capsys)
+    assert "unchecked" in out and "runtime-check" in out and "static-precondition" in out
+    # the static policy line reports zero roll-backs
+    static_line = next(line for line in out.splitlines() if line.startswith("static-precondition"))
+    columns = static_line.split()
+    assert columns[3] == "0"  # rolled back column
+
+
+def test_transaction_verification(capsys):
+    out = run_example("transaction_verification.py", capsys)
+    assert "VIOLATES" in out
+    assert "guarded version preserves the constraint" in out
+
+
+def test_expressiveness_tour(capsys):
+    out = run_example("expressiveness_tour.py", capsys)
+    assert "Theorem B" in out
+    assert "refuted" in out
+    assert "True" in out

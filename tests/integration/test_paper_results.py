@@ -1,0 +1,236 @@
+"""Integration tests: one test class per result of the paper.
+
+These tests exercise the public API end-to-end and assert the *shape* of each
+result (who wins, where the separations appear), mirroring the experiment
+index in DESIGN.md / EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.db import (
+    Database,
+    all_graphs,
+    chain,
+    chain_and_cycles,
+    cycle,
+    diagonal_graph,
+    double_cycle_family,
+    linear_order,
+    single_cycle_family,
+    transitive_closure,
+    two_branch_tree,
+)
+from repro.db.graph import same_generation
+from repro.fmt import (
+    degree_count,
+    duplicator_wins,
+    hanf_equivalent,
+    same_type_counts,
+)
+from repro.logic import evaluate, parse
+from repro.logic.builder import (
+    alpha_isolated_exactly,
+    has_isolated_loop,
+    psi_cc,
+    totally_connected,
+)
+from repro.core import (
+    ChainTransaction,
+    ChainWpcCalculator,
+    PrerelationSpec,
+    PreservationReduction,
+    SemanticPrecondition,
+    WpcCalculator,
+    check_wpc,
+    find_wpc_counterexample,
+    preserves_on,
+)
+from repro.transactions import (
+    FOProgram,
+    InsertWhere,
+    is_generic_on,
+    sg_transaction,
+    tc_transaction,
+    dtc_transaction,
+)
+
+
+class TestFactA_Proposition1:
+    """The Preserve problem encodes finite validity (the undecidability reduction)."""
+
+    def test_reduction_equivalence_on_bounded_domains(self, graphs_3):
+        family = graphs_3[:256]
+        for beta in [
+            parse("forall x y . E(x, y) -> E(x, y)"),
+            parse("exists x . E(x, x)"),
+            parse("forall x . exists y . E(x, y)"),
+        ]:
+            assert PreservationReduction(beta).reduction_agrees_on(family)
+
+
+class TestTheoremB_NoWpcForRecursiveTransactions:
+    """tc / dtc / same-generation admit no FO weakest precondition: the witness
+    families behind each claim behave as the proofs require."""
+
+    def test_claim1_connectivity_witness(self):
+        # wpc(tc, forall x y E(x,y)) would define connectivity; the cycle pair
+        # C^1_n / C^2_n agrees on all low-rank FO sentences yet differs on
+        # connectivity of the tc image.
+        constraint = totally_connected()
+        one, two = single_cycle_family(3), double_cycle_family(3)
+        semantic = SemanticPrecondition(tc_transaction(), constraint)
+        assert semantic.holds(one) != semantic.holds(two)
+        assert duplicator_wins(one, two, 2)
+
+    def test_claim2_chain_witness(self):
+        # psi_CC & wpc(dtc, alpha) would define chains; the chain / chain+cycle
+        # pair separates the dtc images but not low-rank FO.
+        alpha = parse("forall x y . x != y -> E(x, y) | E(y, x)")
+        chain_graph = chain(4)
+        chain_cycle = chain_and_cycles(2, [2])
+        semantic = SemanticPrecondition(dtc_transaction(), alpha)
+        assert semantic.holds(chain_graph)
+        assert not semantic.holds(chain_cycle)
+        assert evaluate(psi_cc(), chain_graph) and evaluate(psi_cc(), chain_cycle)
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_claim3_hanf_equivalence_of_gnn_family(self, r):
+        n = 2 * r + 2
+        g_even, g_odd = two_branch_tree(n, n), two_branch_tree(n - 1, n + 1)
+        assert same_type_counts(g_even, g_odd, r)
+        # yet alpha_i (i isolated nodes in the sg image) separates them
+        assert evaluate(alpha_isolated_exactly(1), same_generation(g_even))
+        assert evaluate(alpha_isolated_exactly(3), same_generation(g_odd))
+
+    def test_sg_images_structure(self):
+        image = same_generation(two_branch_tree(3, 3))
+        # on a tree every connected component of sg is a complete graph (with loops)
+        from repro.db.graph import connected_components
+
+        for component in connected_components(image):
+            sub = image.restrict_domain(component)
+            size = len(component)
+            assert len(sub.edges) == size * size
+
+
+class TestTheoremC_NoLanguageCapturesWPC:
+    """The diagonalisation's two certified properties (checked in unit tests)
+    combine into the statement: for every enumerated language there is a
+    verifiable transaction outside it."""
+
+    def test_diagonal_transaction_escapes_toy_language(self):
+        from repro.core import DiagonalConstruction
+        from repro.transactions import (
+            IdentityTransaction,
+            TransactionLanguage,
+            complete_graph_transaction,
+            diagonal_transaction,
+        )
+
+        language = TransactionLanguage(
+            "toy",
+            transactions=[IdentityTransaction(), tc_transaction(), diagonal_transaction(),
+                          complete_graph_transaction()],
+        )
+        construction = DiagonalConstruction(language, search_limit=3000)
+        diagonal = construction.transaction(depth=4)
+        for index in range(1, 5):
+            witness = construction.graphs[construction.P(index)]
+            assert diagonal.apply(witness) != language[index - 1].apply(witness)
+
+
+class TestTheoremD_7_ChainTransactionSeparation:
+    """A generic PTIME transaction in WPC(FO) - PR(FO)."""
+
+    def test_in_wpc_fo(self, graphs_3):
+        T = ChainTransaction()
+        calculator = ChainWpcCalculator(T)
+        for constraint in [totally_connected(), has_isolated_loop(), parse("exists x y . E(x, y) & x != y")]:
+            precondition = calculator.wpc(constraint)
+            assert check_wpc(T, constraint, precondition, graphs_3[:200])
+
+    def test_not_in_pr_fo_degree_argument(self):
+        # a prerelation over pure FO would compute tc on chains; but the degree
+        # count of T(chain(n)) grows with n while FO queries have bounded
+        # degree counts on bounded-degree inputs
+        T = ChainTransaction()
+        outputs = [degree_count(T.apply(chain(n))) for n in (4, 8, 16, 32)]
+        assert all(b > a for a, b in zip(outputs, outputs[1:]))
+
+    def test_generic_and_datalog_definable(self, graphs_2):
+        from repro.core import chain_transaction_datalog
+
+        T = ChainTransaction()
+        assert is_generic_on(T, [chain(4), cycle(3)], extra_universe=[70, 71])
+        D = chain_transaction_datalog()
+        assert all(D.apply(g) == T.apply(g) for g in graphs_2)
+
+
+class TestCorollary3_RankBlowup:
+    def test_wpc_rank_at_least_exponential(self):
+        calculator = ChainWpcCalculator()
+        data = []
+        for constraint in [
+            parse("exists x y . E(x, y)"),                      # rank 2
+            parse("exists x y z . E(x, y) & E(y, z) & x != z"),  # rank 3
+        ]:
+            rank_in = constraint.quantifier_rank()
+            rank_out = calculator.wpc(constraint).quantifier_rank()
+            data.append((rank_in, rank_out))
+        for rank_in, rank_out in data:
+            assert rank_out >= 2 ** rank_in
+
+
+class TestTheoremE_8_RobustVerifiability:
+    def test_prerelation_transactions_verifiable_under_extensions(self, graphs_2):
+        from repro.logic import arithmetic_signature, successor_signature, EMPTY_SIGNATURE
+        from repro.core import robustness_check
+
+        program = FOProgram([InsertWhere("E", ("x", "y"), parse("E(y, x)"))], name="sym")
+        spec = PrerelationSpec.from_fo_program(program)
+        result = robustness_check(
+            spec,
+            [("no-loops", parse("forall x . ~E(x, x)")),
+             ("out-regular", parse("forall x . (exists y . E(x, y)) -> exists z . E(z, x)"))],
+            [EMPTY_SIGNATURE, successor_signature(), arithmetic_signature()],
+            graphs_2,
+        )
+        assert result.all_correct
+
+    def test_chain_transaction_is_not_robust(self):
+        """Proposition 5: the Theorem 7 transaction fails verifiability once a
+        constant is available — every candidate from a syntactic family of
+        small FOc sentences is refuted on a finite family of graphs."""
+        from repro.core import chain_test_reduction, proposition5_constraint
+
+        T = ChainTransaction()
+        family = (
+            [chain(n) for n in (2, 3, 4)]
+            + [chain(3, labels=["c", 1, 2]), chain_and_cycles(2, [3], labels=[0, 1, "c", 3, 4])]
+            + [cycle(3)]
+        )
+        candidates = [parse("true"), parse("false"), psi_cc(), proposition5_constraint("c")]
+        for candidate in candidates:
+            assert chain_test_reduction(candidate, "c", family, T) is not None
+
+
+class TestIntegrityMaintenanceStory:
+    """The introduction's guarded-transaction recipe, end to end."""
+
+    def test_guard_makes_unsafe_transaction_safe(self, graphs_3):
+        constraint = parse("forall x . ~E(x, x)")
+        program = FOProgram(
+            [InsertWhere("E", ("x", "y"), parse("exists z . E(x, z) & E(z, y)"))],
+            name="compose",
+        )
+        spec = PrerelationSpec.from_fo_program(program)
+        unsafe = spec.as_transaction()
+        sample = graphs_3[:200]
+        # the raw transaction does not preserve loop-freeness
+        assert not preserves_on(unsafe, constraint, sample)
+        # the guarded version does
+        from repro.core import make_safe
+
+        precondition = WpcCalculator(spec).wpc(constraint)
+        safe = make_safe(unsafe, precondition, on_abort="identity")
+        assert preserves_on(safe, constraint, sample)

@@ -1,0 +1,179 @@
+"""Tests for the builder DSL (the paper's stock sentences) and formula rewriting."""
+
+import pytest
+
+from repro.db import (
+    Database,
+    chain,
+    chain_and_cycles,
+    complete_graph,
+    cycle,
+    diagonal_graph,
+    is_chain_and_cycle_graph,
+    linear_order,
+    two_branch_tree,
+)
+from repro.db.graph import same_generation
+from repro.logic import AtomDefinition, evaluate, parse, relativize_quantifiers, substitute_atoms
+from repro.logic.builder import (
+    active_node_sentence,
+    alpha_isolated_exactly,
+    at_least_n_elements,
+    chain_length_at_least,
+    chain_length_exactly,
+    exactly_n_elements,
+    exists_unique,
+    has_isolated_loop,
+    has_nonloop_edge,
+    has_some_edge,
+    is_complete_loop_free_sentence,
+    is_diagonal_sentence,
+    psi_cc,
+    totally_connected,
+)
+from repro.logic.syntax import Atom, Exists, Formula, Not
+from repro.logic.terms import Var
+
+
+class TestPsiCC:
+    """Lemma 1: psi_C&C defines exactly the chain-and-cycle graphs."""
+
+    def test_matches_structural_predicate_exhaustively(self, graphs_3):
+        sentence = psi_cc()
+        for g in graphs_3:
+            assert evaluate(sentence, g) == is_chain_and_cycle_graph(g), g
+
+    def test_on_named_families(self):
+        sentence = psi_cc()
+        assert evaluate(sentence, chain(5))
+        assert evaluate(sentence, chain_and_cycles(3, [4, 2]))
+        assert not evaluate(sentence, cycle(4))
+        assert not evaluate(sentence, two_branch_tree(2, 2))
+        assert not evaluate(sentence, diagonal_graph([1, 2]))
+        assert not evaluate(sentence, Database.empty())
+
+
+class TestChainLengthSentences:
+    """The p_s and p0_i sentences of Theorem 7."""
+
+    @pytest.mark.parametrize("chain_len", [2, 3, 5])
+    @pytest.mark.parametrize("cycles", [(), (3,), (2, 4)])
+    def test_p_s_measures_chain_component(self, chain_len, cycles):
+        g = chain_and_cycles(chain_len, list(cycles))
+        for s in range(2, chain_len + 2):
+            expected = chain_len >= s
+            assert evaluate(chain_length_at_least(s), g) == expected
+
+    def test_p0_exact(self):
+        g = chain_and_cycles(4, [3])
+        assert evaluate(chain_length_exactly(4), g)
+        assert not evaluate(chain_length_exactly(3), g)
+        assert not evaluate(chain_length_exactly(5), g)
+
+    def test_trivial_thresholds(self):
+        from repro.logic.syntax import TOP
+
+        assert chain_length_at_least(0) == TOP
+        assert chain_length_at_least(1) == TOP
+
+
+class TestCountingSentences:
+    def test_mu_s(self):
+        g = diagonal_graph([1, 2, 3, 4])
+        assert evaluate(at_least_n_elements(4), g)
+        assert not evaluate(at_least_n_elements(5), g)
+        assert evaluate(exactly_n_elements(4), g)
+
+    def test_exists_unique(self):
+        one_loop = Database.graph([(1, 1), (1, 2)])
+        assert evaluate(exists_unique("x", Atom("E", "x", "x")), one_loop)
+        two_loops = Database.graph([(1, 1), (2, 2)])
+        assert not evaluate(exists_unique("x", Atom("E", "x", "x")), two_loops)
+
+
+class TestIsolatedNodeSentences:
+    """alpha_i of Claim 3: counts of isolated looped nodes in sg images."""
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (2, 3), (2, 4), (3, 5)])
+    def test_alpha_on_same_generation_images(self, n, m):
+        image = same_generation(two_branch_tree(n, m))
+        expected = abs(n - m) + 1
+        assert evaluate(alpha_isolated_exactly(expected), image)
+        assert not evaluate(alpha_isolated_exactly(expected + 1), image)
+
+    def test_has_isolated_loop(self):
+        assert evaluate(has_isolated_loop(), diagonal_graph([1]))
+        assert not evaluate(has_isolated_loop(), diagonal_graph([1, 2]))
+
+
+class TestShapeSentences:
+    def test_is_diagonal(self):
+        assert evaluate(is_diagonal_sentence(), diagonal_graph([1, 2, 3]))
+        assert not evaluate(is_diagonal_sentence(), chain(3))
+        assert evaluate(is_diagonal_sentence(), Database.empty())
+
+    def test_is_complete_loop_free(self):
+        assert evaluate(is_complete_loop_free_sentence(), complete_graph([1, 2, 3]))
+        assert not evaluate(is_complete_loop_free_sentence(), chain(3))
+
+    def test_edge_sentences(self):
+        assert evaluate(has_some_edge(), chain(2))
+        assert not evaluate(has_some_edge(), Database.empty())
+        assert evaluate(has_nonloop_edge(), chain(2))
+        assert not evaluate(has_nonloop_edge(), diagonal_graph([1]))
+
+    def test_totally_connected(self):
+        assert evaluate(totally_connected(), Database.graph([(1, 1)]))
+        assert not evaluate(totally_connected(), chain(3))
+
+    def test_active_node_sentence(self):
+        g = chain(3)
+        assert evaluate(active_node_sentence(1), g)
+        assert not evaluate(active_node_sentence(99), g)
+
+
+class TestAtomSubstitution:
+    def test_substitute_atoms_basic(self):
+        # define E'(x, y) := E(y, x) and rewrite a constraint about E'
+        definition = AtomDefinition(("x", "y"), Atom("E", "y", "x"))
+        constraint = parse("forall x . ~E(x, x)")
+        rewritten = substitute_atoms(constraint, {"E": definition})
+        # reversing edges does not change loop-freeness
+        for g in [chain(3), cycle(4), Database.graph([(1, 1)])]:
+            assert evaluate(rewritten, g) == evaluate(constraint, g)
+
+    def test_substitution_semantics(self, graphs_3):
+        # E'(x, y) := E(x, y) | E(y, x)  (symmetric closure)
+        definition = AtomDefinition(("a", "b"), parse("E(a, b) | E(b, a)"))
+        constraint = parse("forall x y . E(x, y) -> E(y, x)")
+        rewritten = substitute_atoms(constraint, {"E": definition})
+        # after symmetric closure the constraint always holds
+        for g in graphs_3[:100]:
+            assert evaluate(rewritten, g)
+
+    def test_definition_validation(self):
+        with pytest.raises(Exception):
+            AtomDefinition(("x", "x"), Atom("E", "x", "x"))
+        with pytest.raises(Exception):
+            AtomDefinition(("x",), Atom("E", "x", "y"))
+
+    def test_instantiate_arity_check(self):
+        definition = AtomDefinition(("x", "y"), Atom("E", "x", "y"))
+        with pytest.raises(Exception):
+            definition.instantiate((Var("a"),))
+
+
+class TestRelativization:
+    def test_relativize_to_looped_nodes(self):
+        guard = lambda name: Atom("E", name, name)
+        constraint = parse("exists x . true")
+        relativized = relativize_quantifiers(constraint, guard)
+        assert evaluate(relativized, diagonal_graph([1]))
+        assert not evaluate(relativized, chain(3))
+
+    def test_relativize_forall(self):
+        guard = lambda name: Atom("E", name, name)
+        constraint = parse("forall x . E(x, x)")
+        relativized = relativize_quantifiers(constraint, guard)
+        # trivially true: only looped nodes are inspected
+        assert evaluate(relativized, chain(4))

@@ -1,0 +1,149 @@
+"""Tests for FOcount helpers, monadic Sigma-1-1 sentences and signatures."""
+
+import pytest
+
+from repro.db import Database, chain, cycle, diagonal_graph
+from repro.logic import (
+    CountingExists,
+    EqualCardinalitySentence,
+    InterpretedFunction,
+    InterpretedPredicate,
+    MonadicSigma11Sentence,
+    ParitySentence,
+    Signature,
+    SignatureError,
+    arithmetic_signature,
+    count_satisfying,
+    counting_to_first_order,
+    evaluate,
+    evaluate_equal_cardinality,
+    evaluate_parity,
+    order_signature,
+    parse,
+    successor_signature,
+    two_colorability,
+)
+from repro.logic.builder import E
+from repro.logic.syntax import Atom
+
+
+class TestCounting:
+    def test_count_satisfying(self):
+        db = Database.graph([(1, 1), (2, 2), (3, 4)])
+        assert count_satisfying(parse("E(x, x)"), "x", db) == 2
+
+    def test_count_rejects_extra_free_variables(self):
+        with pytest.raises(ValueError):
+            count_satisfying(parse("E(x, y)"), "x", chain(3))
+
+    def test_parity(self):
+        db = diagonal_graph([1, 2, 3])
+        assert evaluate_parity(parse("E(x, x)"), "x", db, odd=True)
+        assert not evaluate_parity(parse("E(x, x)"), "x", db, odd=False)
+        sentence = ParitySentence(parse("E(x, x)"), odd=True)
+        assert sentence.holds(db)
+        assert not sentence.holds(diagonal_graph([1, 2]))
+
+    def test_equal_cardinality(self):
+        db = Database.graph([(1, 2), (2, 1)])
+        left = parse("exists y . E(x, y)")      # nodes with an out-edge
+        right = parse("exists y . E(y, x)")     # nodes with an in-edge
+        assert evaluate_equal_cardinality(left, right, "x", db)
+        sentence = EqualCardinalitySentence(left, right)
+        assert sentence.holds(db)
+        # a star has one source but several sinks: the cardinalities differ
+        assert not sentence.holds(Database.graph([(0, 1), (0, 2)]))
+
+    def test_counting_to_first_order_equivalence(self, graphs_3):
+        sentence = CountingExists("x", 2, Atom("E", "x", "x"))
+        expanded = counting_to_first_order(sentence)
+        assert expanded.quantifier_rank() >= 2
+        for g in graphs_3[:128]:
+            assert evaluate(sentence, g) == evaluate(expanded, g)
+
+
+class TestMonadicSigma11:
+    def test_two_colorability_on_cycles(self):
+        sentence = two_colorability()
+        assert sentence.holds(cycle(4))
+        assert not sentence.holds(cycle(5))
+        assert sentence.holds(cycle(6))
+
+    def test_witness(self):
+        sentence = two_colorability()
+        witness = sentence.witness(cycle(4))
+        assert witness is not None
+        colored = witness["A"]
+        for (x, y) in cycle(4).edges:
+            assert (x in colored) != (y in colored)
+        assert sentence.witness(cycle(3)) is None
+
+    def test_matrix_must_be_sentence(self):
+        with pytest.raises(ValueError):
+            MonadicSigma11Sentence(["A"], Atom("E", "x", "y"))
+
+    def test_clash_with_schema_rejected(self):
+        sentence = MonadicSigma11Sentence(["E"], parse("forall x . E(x, x)"))
+        with pytest.raises(ValueError):
+            sentence.holds(chain(2))
+
+    def test_nontrivial_set_quantification(self):
+        # "there is a nonempty set closed under successors and containing no
+        # endpoint" -- true exactly when the graph has a cycle reachable set
+        matrix = parse(
+            "(exists x . A(x)) & (forall x y . A(x) & E(x, y) -> A(y)) & "
+            "(forall x . A(x) -> exists y . E(x, y))"
+        )
+        sentence = MonadicSigma11Sentence(["A"], matrix)
+        assert sentence.holds(cycle(3))
+        assert not sentence.holds(chain(4))
+
+
+class TestSignatures:
+    def test_stock_signatures(self):
+        sig = arithmetic_signature()
+        assert sig.predicate("even")(4)
+        assert not sig.predicate("even")(3)
+        assert sig.function("succ")(6) == 7
+        assert order_signature().predicate("O")(1, 2)
+        assert successor_signature().function("succ")(0) == 1
+
+    def test_extension(self):
+        base = successor_signature()
+        extended = base.extend(
+            predicates=(InterpretedPredicate("zero", 1, lambda x: x == 0),)
+        )
+        assert extended.is_extension_of(base)
+        assert not base.is_extension_of(extended)
+        assert extended.has_symbol("zero") and extended.has_symbol("succ")
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature(
+                functions=(
+                    InterpretedFunction("f", 1, lambda x: x),
+                    InterpretedFunction("f", 2, lambda x, y: x),
+                )
+            )
+        with pytest.raises(SignatureError):
+            Signature(
+                functions=(InterpretedFunction("f", 1, lambda x: x),),
+                predicates=(InterpretedPredicate("f", 1, lambda x: True),),
+            )
+
+    def test_arity_enforcement(self):
+        sig = successor_signature()
+        with pytest.raises(SignatureError):
+            sig.function("succ")(1, 2)
+        with pytest.raises(SignatureError):
+            sig.function("missing")
+
+    def test_covers(self):
+        sig = arithmetic_signature()
+        assert sig.covers({"even", "succ"})
+        assert not sig.covers({"even", "unknown"})
+
+    def test_non_integers_map_to_zero(self):
+        sig = arithmetic_signature()
+        assert sig.function("succ")("banana") == 1
+        assert sig.predicate("even")("banana")

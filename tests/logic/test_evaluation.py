@@ -1,0 +1,143 @@
+"""Tests for the model checker (active-domain semantics)."""
+
+import pytest
+
+from repro.db import Database, chain, cycle, diagonal_graph, linear_order
+from repro.logic import (
+    Atom,
+    Const,
+    CountingExists,
+    EvaluationError,
+    Exists,
+    Forall,
+    Model,
+    Not,
+    Var,
+    arithmetic_signature,
+    evaluate,
+    extension,
+    holds_for_all,
+    parse,
+    satisfies,
+)
+from repro.logic.builder import E, at_least_n_elements, exactly_n_elements
+
+
+class TestBasicEvaluation:
+    def test_atom(self):
+        db = Database.graph([(1, 2)])
+        assert evaluate(Atom("E", Const(1), Const(2)), db)
+        assert not evaluate(Atom("E", Const(2), Const(1)), db)
+
+    def test_quantifiers(self):
+        db = cycle(4)
+        assert evaluate(parse("forall x . exists y . E(x, y)"), db)
+        assert not evaluate(parse("exists x . E(x, x)"), db)
+
+    def test_free_variable_assignment(self):
+        db = chain(3)
+        formula = parse("exists y . E(x, y)")
+        assert evaluate(formula, db, assignment={"x": 0})
+        assert not evaluate(formula, db, assignment={"x": 2})
+
+    def test_missing_assignment_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse("E(x, y)"), chain(2))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse("R(x) & exists x . R(x)"), chain(2), assignment={"x": 0})
+
+    def test_connectives(self):
+        db = chain(3)
+        assert evaluate(parse("E(0, 1) & ~E(1, 0)"), db)
+        assert evaluate(parse("E(1, 0) | E(0, 1)"), db)
+        assert evaluate(parse("E(9, 9) -> false"), db)
+        assert evaluate(parse("E(0, 1) <-> true"), db)
+
+    def test_equality_with_constants(self):
+        db = chain(2)
+        assert evaluate(parse("0 = 0"), db)
+        assert not evaluate(parse("0 = 1"), db)
+
+
+class TestActiveDomainSemantics:
+    def test_quantifiers_range_over_active_domain_only(self):
+        db = Database.graph([(1, 2)])
+        # 7 is not active, so no witness equals it
+        assert not evaluate(parse("exists x . x = 7"), db)
+        assert evaluate(parse("exists x . x = 1"), db)
+
+    def test_empty_database(self):
+        empty = Database.empty()
+        assert not evaluate(parse("exists x . true"), empty)
+        assert evaluate(parse("forall x . false"), empty)
+
+    def test_explicit_domain_override(self):
+        db = Database.graph([(1, 2)])
+        assert evaluate(parse("exists x . x = 7"), db, domain={1, 2, 7})
+
+    def test_satisfies_alias(self):
+        assert satisfies(chain(3), parse("exists x y . E(x, y)"))
+
+    def test_holds_for_all(self):
+        family = [cycle(n) for n in range(2, 6)]
+        assert holds_for_all(parse("forall x . exists y . E(x, y)"), family)
+        assert not holds_for_all(parse("exists x . E(x, x)"), family)
+
+
+class TestCountingQuantifier:
+    def test_counting(self):
+        db = diagonal_graph([1, 2, 3])
+        assert evaluate(CountingExists("x", 3, Atom("E", "x", "x")), db)
+        assert not evaluate(CountingExists("x", 4, Atom("E", "x", "x")), db)
+
+    def test_counting_zero_is_trivial(self):
+        assert evaluate(CountingExists("x", 0, Atom("E", "x", "x")), Database.empty())
+
+
+class TestInterpretedSignatures:
+    def test_interpreted_predicate(self):
+        db = Database.graph([(2, 4)])
+        formula = parse("forall x . even(x)", predicates=["even"])
+        assert evaluate(formula, db, signature=arithmetic_signature())
+
+    def test_interpreted_function(self):
+        db = Database.graph([(1, 2)])
+        formula = parse("exists x . E(x, succ(x))", functions=["succ"])
+        assert evaluate(formula, db, signature=arithmetic_signature())
+
+    def test_missing_interpretation_raises(self):
+        db = Database.graph([(1, 2)])
+        formula = parse("exists x . weird(x)", predicates=["weird"])
+        with pytest.raises(EvaluationError):
+            evaluate(formula, db)
+
+
+class TestExtension:
+    def test_extension_of_edge_formula(self):
+        db = chain(3)
+        rows = extension(E("x", "y"), db, ["x", "y"])
+        assert rows == {(0, 1), (1, 2)}
+
+    def test_extension_with_extra_variable(self):
+        db = chain(2)
+        rows = extension(E("x", "y"), db, ["x", "y", "z"])
+        assert rows == {(0, 1, 0), (0, 1, 1)}
+
+    def test_extension_missing_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            extension(E("x", "y"), chain(2), ["x"])
+
+
+class TestCountingSentences:
+    def test_at_least_and_exactly(self):
+        db = diagonal_graph([1, 2, 3])
+        assert evaluate(at_least_n_elements(3), db)
+        assert not evaluate(at_least_n_elements(4), db)
+        assert evaluate(exactly_n_elements(3), db)
+        assert not evaluate(exactly_n_elements(2), db)
+
+    def test_on_linear_orders(self):
+        assert evaluate(at_least_n_elements(4), linear_order(4))
+        assert not evaluate(at_least_n_elements(5), linear_order(4))

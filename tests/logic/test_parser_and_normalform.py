@@ -1,0 +1,211 @@
+"""Tests for the concrete-syntax parser, normal forms and simplification."""
+
+import pytest
+
+from repro.db import all_graphs, chain, cycle
+from repro.logic import (
+    And,
+    Atom,
+    BOTTOM,
+    Const,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Func,
+    Iff,
+    Implies,
+    InterpretedAtom,
+    Not,
+    Or,
+    ParseError,
+    TOP,
+    Var,
+    eliminate_implications,
+    evaluate,
+    is_in_nnf,
+    is_quantifier_free,
+    negation_normal_form,
+    parse,
+    parse_term,
+    prenex_normal_form,
+    simplify,
+)
+
+
+class TestParser:
+    def test_atoms_and_equalities(self):
+        assert parse("E(x, y)") == Atom("E", "x", "y")
+        assert parse("x = y") == Eq(Var("x"), Var("y"))
+        assert parse("x != y") == Not(Eq(Var("x"), Var("y")))
+        assert parse("E(1, 'a')") == Atom("E", Const(1), Const("a"))
+
+    def test_connective_precedence(self):
+        formula = parse("E(x,y) & E(y,x) | E(x,x)")
+        assert isinstance(formula, Or)
+        formula = parse("E(x,y) -> E(y,x) -> E(x,x)")
+        # right associative
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.conclusion, Implies)
+
+    def test_keyword_connectives(self):
+        assert parse("E(x,y) and not E(y,x)") == parse("E(x,y) & ~E(y,x)")
+        assert parse("E(x,y) or E(y,x)") == parse("E(x,y) | E(y,x)")
+
+    def test_quantifiers(self):
+        formula = parse("forall x y . E(x, y)")
+        assert isinstance(formula, Forall)
+        assert isinstance(formula.body, Forall)
+
+    def test_quantifier_scope_is_maximal(self):
+        formula = parse("exists x . E(x, x) & E(x, x)")
+        assert isinstance(formula, Exists)
+        assert formula.is_sentence()
+
+    def test_counting_quantifier(self):
+        formula = parse("exists>=3 x . E(x, x)")
+        assert formula == CountingExists("x", 3, Atom("E", "x", "x"))
+
+    def test_true_false(self):
+        assert parse("true") == TOP
+        assert parse("false") == BOTTOM
+
+    def test_interpreted_symbols(self):
+        formula = parse("even(x) & E(x, succ(x))", predicates=["even"], functions=["succ"])
+        assert isinstance(formula, And)
+        assert any(isinstance(part, InterpretedAtom) for part in formula.parts)
+        assert parse_term("succ(plus(x, 1))", functions=["succ", "plus"]) == Func(
+            "succ", Func("plus", Var("x"), Const(1))
+        )
+
+    def test_iff(self):
+        assert isinstance(parse("E(x,x) <-> E(x,x)"), Iff)
+
+    def test_roundtrip_through_str(self):
+        for text in [
+            "forall x . exists y . E(x, y) & ~E(y, x)",
+            "exists x y . E(x, y) -> x = y",
+            "(E(a, b) | E(b, a)) & true",
+        ]:
+            formula = parse(text)
+            assert parse(str(formula)) == formula
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "E(x",
+            "forall . E(x, x)",
+            "exists x E(x, x)",
+            "E(x, y) &",
+            "x ==== y",
+            "E(x, y) extra",
+            "@bad",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_parse_term_rejects_atom(self):
+        with pytest.raises(ParseError):
+            parse_term("E(x, y)")
+
+
+class TestNormalForms:
+    def test_eliminate_implications(self):
+        formula = parse("E(x,x) -> E(y,y)")
+        assert "->" not in str(eliminate_implications(formula))
+
+    def test_nnf_pushes_negation(self):
+        formula = parse("~(E(x,y) & forall z . E(z, z))")
+        nnf = negation_normal_form(formula)
+        assert is_in_nnf(nnf)
+        assert not is_in_nnf(formula.implies(TOP))
+
+    def test_nnf_preserves_semantics(self, graphs_3):
+        sentences = [
+            parse("~(exists x . E(x, x) & forall y . E(x, y))"),
+            parse("~(forall x . E(x, x) -> exists y . E(x, y))"),
+            parse("~(E(0, 1) <-> E(1, 0))"),
+        ]
+        for sentence in sentences:
+            nnf = negation_normal_form(sentence)
+            for g in graphs_3[:128]:
+                assert evaluate(sentence, g) == evaluate(nnf, g)
+
+    def test_prenex_form_structure(self):
+        formula = parse("(exists x . E(x, x)) & (forall y . E(y, y))")
+        prenex = prenex_normal_form(formula)
+        # the prefix is at the front: stripping quantifiers leaves a QF matrix
+        body = prenex
+        while isinstance(body, (Exists, Forall)):
+            body = body.body
+        assert is_quantifier_free(body)
+
+    def test_prenex_preserves_semantics(self, graphs_3):
+        sentences = [
+            parse("(exists x . E(x, x)) & (forall y . exists z . E(y, z))"),
+            parse("~(exists x . E(x, x)) | (forall y . E(y, y))"),
+        ]
+        for sentence in sentences:
+            prenex = prenex_normal_form(sentence)
+            for g in graphs_3[:128]:
+                assert evaluate(sentence, g) == evaluate(prenex, g)
+
+    def test_prenex_renames_clashing_variables(self):
+        formula = parse("(exists x . E(x, x)) & (exists x . ~E(x, x))")
+        prenex = prenex_normal_form(formula)
+        names = []
+        body = prenex
+        while isinstance(body, (Exists, Forall)):
+            names.append(body.variable)
+            body = body.body
+        assert len(names) == len(set(names))
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(parse("E(x,y) & true")) == parse("E(x,y)")
+        assert simplify(parse("E(x,y) & false")) == BOTTOM
+        assert simplify(parse("E(x,y) | true")) == TOP
+        assert simplify(Not(Not(Atom("E", "x", "y")))) == Atom("E", "x", "y")
+
+    def test_trivial_equality(self):
+        assert simplify(parse("x = x")) == TOP
+
+    def test_contradiction_and_excluded_middle(self):
+        a = Atom("E", "x", "y")
+        assert simplify(And(a, Not(a))) == BOTTOM
+        assert simplify(Or(a, Not(a))) == TOP
+
+    def test_duplicate_removal(self):
+        a = Atom("E", "x", "y")
+        assert simplify(And(a, a)) == a
+
+    def test_implication_folding(self):
+        a = Atom("E", "x", "y")
+        assert simplify(Implies(TOP, a)) == a
+        assert simplify(Implies(a, BOTTOM)) == Not(a)
+        assert simplify(Implies(BOTTOM, a)) == TOP
+
+    def test_iff_folding(self):
+        a = Atom("E", "x", "y")
+        assert simplify(Iff(a, a)) == TOP
+        assert simplify(Iff(TOP, a)) == a
+
+    def test_vacuous_quantifier(self):
+        formula = Exists("z", Atom("E", "x", "y"))
+        assert simplify(formula) == Atom("E", "x", "y")
+
+    def test_simplify_preserves_semantics_on_nonempty(self, graphs_3):
+        sentences = [
+            parse("(forall x . E(x, x) & true) | false"),
+            parse("exists x . (E(x, x) | ~E(x, x))"),
+            parse("forall x . (E(x, x) -> E(x, x))"),
+        ]
+        nonempty = [g for g in graphs_3[:200] if not g.is_empty()]
+        for sentence in sentences:
+            reduced = simplify(sentence)
+            for g in nonempty:
+                assert evaluate(sentence, g) == evaluate(reduced, g)

@@ -1,0 +1,191 @@
+"""Tests for terms and the formula AST."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    Atom,
+    BOTTOM,
+    Const,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    FormulaError,
+    Func,
+    Iff,
+    Implies,
+    InterpretedAtom,
+    Not,
+    Or,
+    TOP,
+    TermError,
+    Var,
+    evaluate_term,
+    make_and,
+    make_or,
+)
+
+
+class TestTerms:
+    def test_var_free_variables(self):
+        assert Var("x").free_variables() == frozenset({"x"})
+        assert Const(5).free_variables() == frozenset()
+
+    def test_var_substitution(self):
+        assert Var("x").substitute({"x": Const(3)}) == Const(3)
+        assert Var("y").substitute({"x": Const(3)}) == Var("y")
+
+    def test_func_term(self):
+        term = Func("succ", Var("x"))
+        assert term.free_variables() == {"x"}
+        assert term.function_symbols() == {"succ"}
+        assert term.depth() == 1
+        assert str(term) == "succ(x)"
+
+    def test_func_substitution(self):
+        term = Func("plus", Var("x"), Const(1))
+        substituted = term.substitute({"x": Func("succ", Var("y"))})
+        assert substituted == Func("plus", Func("succ", Var("y")), Const(1))
+        assert substituted.depth() == 2
+
+    def test_evaluate_term(self):
+        functions = {"succ": lambda v: v + 1, "plus": lambda a, b: a + b}
+        term = Func("plus", Func("succ", Var("x")), Const(2))
+        assert evaluate_term(term, {"x": 4}, functions) == 7
+
+    def test_evaluate_unassigned_variable(self):
+        with pytest.raises(TermError):
+            evaluate_term(Var("x"), {})
+
+    def test_evaluate_unknown_function(self):
+        with pytest.raises(TermError):
+            evaluate_term(Func("mystery", Const(1)), {}, {})
+
+    def test_invalid_names(self):
+        with pytest.raises(TermError):
+            Var("")
+        with pytest.raises(TermError):
+            Func("", Const(1))
+
+    def test_constants_collection(self):
+        term = Func("f", Const(1), Func("g", Const(2)))
+        assert term.constants() == {1, 2}
+
+
+class TestAtomsAndEquality:
+    def test_atom_coercion(self):
+        atom = Atom("E", "x", 5)
+        assert atom.terms == (Var("x"), Const(5))
+        assert atom.free_variables() == {"x"}
+        assert atom.constants() == {5}
+        assert atom.relation_symbols() == {"E"}
+
+    def test_atom_requires_arguments(self):
+        with pytest.raises(FormulaError):
+            Atom("E")
+
+    def test_eq(self):
+        eq = Eq("x", "y")
+        assert eq.free_variables() == {"x", "y"}
+        assert Eq(1, 2).free_variables() == frozenset()
+
+    def test_interpreted_atom(self):
+        atom = InterpretedAtom("even", Func("succ", Var("x")))
+        assert atom.interpreted_symbols() == {"even", "succ"}
+        assert atom.free_variables() == {"x"}
+
+
+class TestConnectivesAndQuantifiers:
+    def test_free_and_bound_variables(self):
+        formula = Exists("x", And(Atom("E", "x", "y"), Forall("z", Atom("E", "z", "x"))))
+        assert formula.free_variables() == {"y"}
+        assert formula.bound_variables() == {"x", "z"}
+
+    def test_quantifier_rank(self):
+        formula = Forall("x", Or(Exists("y", Atom("E", "x", "y")), Atom("E", "x", "x")))
+        assert formula.quantifier_rank() == 2
+        assert Atom("E", "x", "y").quantifier_rank() == 0
+
+    def test_counting_quantifier(self):
+        formula = CountingExists("x", 3, Atom("E", "x", "x"))
+        assert formula.quantifier_rank() == 1
+        assert formula.free_variables() == frozenset()
+        with pytest.raises(FormulaError):
+            CountingExists("x", -1, TOP)
+
+    def test_size(self):
+        formula = And(Atom("E", "x", "y"), Not(Atom("E", "y", "x")))
+        assert formula.size() == 4
+
+    def test_is_sentence(self):
+        assert Forall("x", Atom("E", "x", "x")).is_sentence()
+        assert not Atom("E", "x", "y").is_sentence()
+
+    def test_atoms_iteration(self):
+        formula = Implies(Atom("E", "x", "y"), Iff(Atom("R", "x"), TOP))
+        assert {a.relation for a in formula.atoms()} == {"E", "R"}
+
+    def test_walk_counts_nodes(self):
+        formula = And(TOP, Not(BOTTOM))
+        assert len(list(formula.walk())) == 4
+
+    def test_empty_connective_rejected(self):
+        with pytest.raises(FormulaError):
+            And()
+        with pytest.raises(FormulaError):
+            Or()
+
+    def test_operator_sugar(self):
+        a, b = Atom("E", "x", "y"), Atom("E", "y", "x")
+        assert (a & b) == make_and(a, b)
+        assert (a | b) == make_or(a, b)
+        assert (~a) == Not(a)
+
+
+class TestSubstitution:
+    def test_simple_substitution(self):
+        formula = Atom("E", "x", "y").substitute({"x": Const(1)})
+        assert formula == Atom("E", Const(1), "y")
+
+    def test_substitution_skips_bound(self):
+        formula = Exists("x", Atom("E", "x", "y"))
+        result = formula.substitute({"x": Const(1), "y": Const(2)})
+        assert result == Exists("x", Atom("E", "x", Const(2)))
+
+    def test_capture_avoiding(self):
+        # substituting y := x into  exists x . E(x, y)  must rename the bound x
+        formula = Exists("x", Atom("E", "x", "y"))
+        result = formula.substitute({"y": Var("x")})
+        assert isinstance(result, Exists)
+        assert result.variable != "x"
+        assert Atom("E", Var(result.variable), Var("x")) == result.body
+
+    def test_simultaneous_substitution(self):
+        formula = Atom("E", "x", "y").substitute({"x": Var("y"), "y": Var("x")})
+        assert formula == Atom("E", "y", "x")
+
+
+class TestSmartConstructors:
+    def test_make_and_flattens(self):
+        a, b, c = Atom("P", "x"), Atom("Q", "x"), Atom("R", "x")
+        assert make_and(make_and(a, b), c) == And(a, b, c)
+
+    def test_make_and_drops_top(self):
+        a = Atom("P", "x")
+        assert make_and(a, TOP) == a
+        assert make_and(TOP, TOP) == TOP
+
+    def test_make_and_short_circuits_bottom(self):
+        assert make_and(Atom("P", "x"), BOTTOM) == BOTTOM
+
+    def test_make_or_duals(self):
+        a = Atom("P", "x")
+        assert make_or(a, BOTTOM) == a
+        assert make_or(a, TOP) == TOP
+        assert make_or(BOTTOM, BOTTOM) == BOTTOM
+
+    def test_hashability(self):
+        formulas = {Atom("E", "x", "y"), Atom("E", "x", "y"), Not(TOP)}
+        assert len(formulas) == 2

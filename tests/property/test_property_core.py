@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the core weakest-precondition machinery
+and the database substrate invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.db import Database, chain, transitive_closure
+from repro.logic import Atom, Eq, Exists, Forall, Formula, Not, Var, evaluate, make_and, make_or
+from repro.core import (
+    ChainTransaction,
+    ChainWpcCalculator,
+    PrerelationSpec,
+    WpcCalculator,
+)
+from repro.transactions import (
+    DeleteWhere,
+    FOProgram,
+    InsertTuple,
+    InsertWhere,
+    SetRelation,
+)
+
+VARIABLES = ["x", "y"]
+
+
+def graphs(max_nodes: int = 3) -> st.SearchStrategy[Database]:
+    nodes = st.integers(min_value=0, max_value=max_nodes - 1)
+    edges = st.lists(st.tuples(nodes, nodes), max_size=6)
+    return st.builds(Database.graph, edges)
+
+
+def quantifier_free(max_leaves: int = 4) -> st.SearchStrategy[Formula]:
+    variable = st.sampled_from(VARIABLES + ["z"])
+    base = st.one_of(
+        st.builds(lambda a, b: Atom("E", a, b), variable, variable),
+        st.builds(lambda a, b: Eq(Var(a), Var(b)), variable, variable),
+    )
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda a, b: make_and(a, b), children, children),
+            st.builds(lambda a, b: make_or(a, b), children, children),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def constraints() -> st.SearchStrategy[Formula]:
+    """Random FO sentences of quantifier rank <= 3 over the graph schema."""
+
+    def close(matrix: Formula) -> Formula:
+        closed = matrix
+        for i, name in enumerate(sorted(matrix.free_variables())):
+            closed = (Exists if i % 2 == 0 else Forall)(name, closed)
+        return closed
+
+    return quantifier_free().map(close)
+
+
+def simple_programs() -> st.SearchStrategy[FOProgram]:
+    """Random one/two statement Qian-style programs over the graph schema."""
+    condition = quantifier_free()
+
+    insert_where = st.builds(
+        lambda c: InsertWhere("E", ("x", "y"), _close_condition(c)), condition
+    )
+    delete_where = st.builds(
+        lambda c: DeleteWhere("E", ("x", "y"), _close_condition(c)), condition
+    )
+    set_relation = st.builds(
+        lambda c: SetRelation("E", ("x", "y"), _close_condition(c)), condition
+    )
+    insert_tuple = st.builds(
+        lambda a, b: InsertTuple("E", 100 + a, 100 + b),
+        st.integers(0, 2),
+        st.integers(0, 2),
+    )
+    statement = st.one_of(insert_where, delete_where, set_relation, insert_tuple)
+    return st.lists(statement, min_size=1, max_size=2).map(
+        lambda statements: FOProgram(statements, name="random-program")
+    )
+
+
+def _close_condition(matrix: Formula) -> Formula:
+    """Bind every free variable other than x, y existentially."""
+    closed = matrix
+    for name in sorted(matrix.free_variables() - {"x", "y"}):
+        closed = Exists(name, closed)
+    return closed
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=simple_programs(), graph=graphs())
+def test_compiled_prerelation_matches_operational_semantics(program, graph):
+    spec = PrerelationSpec.from_fo_program(program)
+    assert spec.as_transaction().apply(graph) == program.apply(graph)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=simple_programs(), constraint=constraints(), graph=graphs())
+def test_wpc_roundtrip_for_random_programs(program, constraint, graph):
+    """D |= wpc(T, alpha)  iff  T(D) |= alpha, for random programs/constraints/graphs."""
+    spec = PrerelationSpec.from_fo_program(program)
+    precondition = WpcCalculator(spec).wpc(constraint)
+    transaction = spec.as_transaction()
+    assert evaluate(precondition, graph) == evaluate(constraint, transaction.apply(graph))
+
+
+@settings(max_examples=25, deadline=None)
+@given(constraint=constraints(), graph=graphs())
+def test_chain_transaction_wpc_roundtrip(constraint, graph):
+    transaction = ChainTransaction()
+    precondition = ChainWpcCalculator(transaction).wpc(constraint)
+    assert evaluate(precondition, graph) == evaluate(constraint, transaction.apply(graph))
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=graphs(4))
+def test_transitive_closure_is_idempotent_and_monotone(graph):
+    closed = transitive_closure(graph)
+    assert set(graph.edges) <= set(closed.edges)
+    assert transitive_closure(closed) == closed
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=graphs(4), data=st.data())
+def test_database_insert_delete_roundtrip(graph, data):
+    a = data.draw(st.integers(0, 3))
+    b = data.draw(st.integers(0, 3))
+    row = (a, b)
+    inserted = graph.insert("E", row)
+    assert inserted.contains("E", row)
+    if not graph.contains("E", row):
+        assert inserted.delete("E", row) == graph
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=graphs(4))
+def test_map_domain_by_bijection_preserves_isomorphism_invariants(graph):
+    mapping = {v: f"n{v}" for v in graph.active_domain}
+    renamed = graph.map_domain(mapping)
+    assert len(renamed.edges) == len(graph.edges)
+    assert len(renamed.active_domain) == len(graph.active_domain)
+    from repro.fmt import are_isomorphic
+
+    assert are_isomorphic(graph, renamed)

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the logic layer.
+
+Random first-order sentences over the graph schema are generated together with
+random small graphs; the properties assert that the syntactic transformations
+(NNF, prenex, simplification, counting expansion, substitution) preserve
+semantics and the syntactic measures behave as documented.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db import Database
+from repro.logic import (
+    Atom,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Var,
+    counting_to_first_order,
+    evaluate,
+    make_and,
+    make_or,
+    negation_normal_form,
+    is_in_nnf,
+    prenex_normal_form,
+    simplify,
+)
+
+VARIABLES = ["x", "y", "z"]
+
+
+def atoms() -> st.SearchStrategy[Formula]:
+    variable = st.sampled_from(VARIABLES)
+    edge = st.builds(lambda a, b: Atom("E", a, b), variable, variable)
+    equality = st.builds(lambda a, b: Eq(Var(a), Var(b)), variable, variable)
+    return st.one_of(edge, equality)
+
+
+def formulas(max_depth: int = 3) -> st.SearchStrategy[Formula]:
+    def extend(children: st.SearchStrategy[Formula]) -> st.SearchStrategy[Formula]:
+        variable = st.sampled_from(VARIABLES)
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda a, b: make_and(a, b), children, children),
+            st.builds(lambda a, b: make_or(a, b), children, children),
+            st.builds(lambda v, b: Exists(v, b), variable, children),
+            st.builds(lambda v, b: Forall(v, b), variable, children),
+        )
+
+    return st.recursive(atoms(), extend, max_leaves=8)
+
+
+def sentences(max_depth: int = 3) -> st.SearchStrategy[Formula]:
+    """Close random formulas by quantifying their free variables existentially."""
+
+    def close(formula: Formula) -> Formula:
+        closed = formula
+        for name in sorted(formula.free_variables()):
+            closed = Exists(name, closed)
+        return closed
+
+    return formulas(max_depth).map(close)
+
+
+def graphs(max_nodes: int = 4) -> st.SearchStrategy[Database]:
+    nodes = st.integers(min_value=0, max_value=max_nodes - 1)
+    edges = st.lists(st.tuples(nodes, nodes), max_size=8)
+    return st.builds(Database.graph, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sentence=sentences(), graph=graphs())
+def test_nnf_preserves_truth(sentence, graph):
+    nnf = negation_normal_form(sentence)
+    assert is_in_nnf(nnf)
+    assert evaluate(sentence, graph) == evaluate(nnf, graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sentence=sentences(), graph=graphs())
+def test_prenex_preserves_truth(sentence, graph):
+    prenex = prenex_normal_form(sentence)
+    assert evaluate(sentence, graph) == evaluate(prenex, graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sentence=sentences(), graph=graphs())
+def test_simplify_preserves_truth_on_nonempty(sentence, graph):
+    if graph.is_empty():
+        graph = graph.insert("E", (0, 0))
+    reduced = simplify(sentence)
+    assert evaluate(sentence, graph) == evaluate(reduced, graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sentence=sentences())
+def test_simplify_never_increases_size(sentence):
+    assert simplify(sentence).size() <= sentence.size()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sentence=sentences())
+def test_nnf_preserves_quantifier_rank(sentence):
+    # pushing negations never changes the nesting depth of quantifiers
+    assert negation_normal_form(sentence).quantifier_rank() == sentence.quantifier_rank()
+
+
+@settings(max_examples=40, deadline=None)
+@given(body=formulas(), graph=graphs(), count=st.integers(min_value=0, max_value=3))
+def test_counting_expansion_agrees(body, graph, count):
+    free = sorted(body.free_variables())
+    inner = body
+    for name in free[1:]:
+        inner = Exists(name, inner)
+    variable = free[0] if free else "x"
+    sentence = CountingExists(variable, count, inner)
+    expanded = counting_to_first_order(sentence)
+    assert evaluate(sentence, graph) == evaluate(expanded, graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(formula=formulas(), graph=graphs())
+def test_substitution_by_fresh_variable_then_rename_back(formula, graph):
+    """Renaming a free variable to a fresh one and back is the identity."""
+    free = sorted(formula.free_variables())
+    if not free:
+        return
+    target = free[0]
+    renamed = formula.substitute({target: Var("fresh_w")})
+    roundtrip = renamed.substitute({"fresh_w": Var(target)})
+    domain = sorted(graph.active_domain, key=repr)
+    if not domain:
+        return
+    assignment = {name: domain[i % len(domain)] for i, name in enumerate(free)}
+    assert evaluate(formula, graph, assignment=assignment) == evaluate(
+        roundtrip, graph, assignment=assignment
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(sentence=sentences(), graph=graphs())
+def test_double_negation(sentence, graph):
+    assert evaluate(Not(Not(sentence)), graph) == evaluate(sentence, graph)

@@ -1,0 +1,177 @@
+"""Tests for the transaction abstraction and relational-algebra transactions."""
+
+import pytest
+
+from repro.db import Database, chain, complete_graph, cycle, diagonal_graph
+from repro.logic import parse
+from repro.transactions import (
+    AlgebraTransaction,
+    ComposedTransaction,
+    FunctionTransaction,
+    GuardedTransaction,
+    IdentityTransaction,
+    Transaction,
+    TransactionAbortedSignal,
+    TransactionError,
+    TransactionLanguage,
+    complete_graph_transaction,
+    copy_relation_transaction,
+    diagonal_transaction,
+    is_generic_on,
+    tc_transaction,
+)
+from repro.db import algebra
+from repro.db.schema import Schema
+
+
+class TestTransactionBasics:
+    def test_function_transaction(self):
+        t = FunctionTransaction(lambda db: db.insert("E", (9, 9)), name="add-loop")
+        result = t.apply(chain(2))
+        assert (9, 9) in result.edges
+        assert t.name == "add-loop"
+
+    def test_function_transaction_type_check(self):
+        t = FunctionTransaction(lambda db: "not a database")
+        with pytest.raises(TransactionError):
+            t.apply(chain(2))
+
+    def test_identity(self):
+        g = cycle(3)
+        assert IdentityTransaction().apply(g) == g
+
+    def test_composition(self):
+        add_loop = FunctionTransaction(lambda db: db.insert("E", (9, 9)), name="loop")
+        drop_all = FunctionTransaction(lambda db: Database.graph([]), name="clear")
+        composed = add_loop.then(drop_all)
+        assert composed.apply(chain(3)).is_empty()
+        reversed_order = drop_all.then(add_loop)
+        assert reversed_order.apply(chain(3)).edges == frozenset({(9, 9)})
+
+    def test_callable_sugar(self):
+        assert IdentityTransaction()(chain(2)) == chain(2)
+
+    def test_preserves_per_database(self):
+        constraint = parse("forall x . ~E(x, x)")
+        assert IdentityTransaction().preserves(constraint, chain(3))
+        add_loop = FunctionTransaction(lambda db: db.insert("E", (0, 0)), name="loop")
+        assert not add_loop.preserves(constraint, chain(3))
+        # vacuously preserved when the input violates the constraint already
+        assert add_loop.preserves(constraint, Database.graph([(5, 5)]))
+
+
+class TestGuardedTransaction:
+    def test_guard_allows(self):
+        t = GuardedTransaction(tc_transaction(), parse("exists x y . E(x, y)"))
+        assert t.apply(chain(3)) == tc_transaction().apply(chain(3))
+
+    def test_guard_aborts_with_exception(self):
+        t = GuardedTransaction(tc_transaction(), parse("false"))
+        with pytest.raises(TransactionAbortedSignal):
+            t.apply(chain(3))
+
+    def test_guard_aborts_to_identity(self):
+        t = GuardedTransaction(tc_transaction(), parse("false"), on_abort="identity")
+        assert t.apply(chain(3)) == chain(3)
+
+    def test_invalid_abort_mode(self):
+        with pytest.raises(ValueError):
+            GuardedTransaction(IdentityTransaction(), parse("true"), on_abort="explode")
+
+    def test_semantic_guard(self):
+        class AlwaysFalse:
+            def holds(self, db):
+                return False
+
+        t = GuardedTransaction(IdentityTransaction(), AlwaysFalse(), on_abort="identity")
+        assert t.apply(chain(2)) == chain(2)
+
+
+class TestGenericity:
+    def test_tc_is_generic(self):
+        assert is_generic_on(tc_transaction(), [chain(3), cycle(4)], extra_universe=[77])
+
+    def test_constant_dependent_transaction_is_not_generic(self):
+        def favours_zero(db):
+            return db.insert("E", (0, 0)) if 0 in db.active_domain else db
+
+        t = FunctionTransaction(favours_zero, name="favour-zero")
+        assert not is_generic_on(t, [chain(3)], extra_universe=[50, 51])
+
+
+class TestTransactionLanguage:
+    def test_explicit_language(self):
+        lang = TransactionLanguage("two", transactions=[IdentityTransaction(), tc_transaction()])
+        assert len(lang) == 2
+        assert lang[1].name == "transitive-closure"
+        assert [t.name for t in lang] == ["identity", "transitive-closure"]
+
+    def test_generated_language(self):
+        def generator():
+            i = 0
+            while True:
+                yield FunctionTransaction(lambda db, i=i: db, name=f"t{i}")
+                i += 1
+
+        lang = TransactionLanguage("generated", generator=generator)
+        assert lang[3].name == "t3"
+        assert [t.name for t in lang.prefix(2)] == ["t0", "t1"]
+        with pytest.raises(TypeError):
+            len(lang)
+
+    def test_exactly_one_source_required(self):
+        with pytest.raises(ValueError):
+            TransactionLanguage("bad")
+        with pytest.raises(ValueError):
+            TransactionLanguage("bad", transactions=[], generator=lambda: iter(()))
+
+
+class TestAlgebraTransactions:
+    def test_diagonal_transaction(self, graphs_3):
+        t1 = diagonal_transaction()
+        for g in graphs_3[:64]:
+            assert t1.apply(g) == diagonal_graph(g.active_domain)
+
+    def test_complete_graph_transaction(self, graphs_3):
+        t2 = complete_graph_transaction()
+        for g in graphs_3[:64]:
+            assert t2.apply(g) == complete_graph(g.active_domain)
+
+    def test_empty_graph_maps_to_empty(self):
+        assert diagonal_transaction().apply(Database.empty()).is_empty()
+        assert complete_graph_transaction().apply(Database.empty()).is_empty()
+
+    def test_unmentioned_relations_unchanged(self):
+        schema = Schema.of(E=2, Keep=1)
+        db = Database(schema, {"E": [(1, 2)], "Keep": [(7,)]})
+        t = AlgebraTransaction(
+            {"E": algebra.Relation("E").select(algebra.ColumnEqualsColumn(0, 1))},
+            schema=schema,
+        )
+        out = t.apply(db)
+        assert out.relation("Keep") == frozenset({(7,)})
+        assert out.relation("E") == frozenset()
+
+    def test_schema_checks(self):
+        with pytest.raises(TransactionError):
+            AlgebraTransaction({"Unknown": algebra.Relation("E")})
+        t = AlgebraTransaction({"E": algebra.Relation("E").project(0)})
+        with pytest.raises(TransactionError):
+            t.apply(chain(2))  # arity mismatch: unary expression for binary E
+
+    def test_copy_relation(self):
+        schema = Schema.of(A=1, B=1)
+        db = Database(schema, {"A": [(1,), (2,)], "B": []})
+        t = copy_relation_transaction("A", "B", schema)
+        assert t.apply(db).relation("B") == frozenset({(1,), (2,)})
+        with pytest.raises(TransactionError):
+            copy_relation_transaction("A", "E", Schema.of(A=1, E=2))
+
+    def test_wrong_schema_rejected(self):
+        other = Database(Schema.of(R=2), {"R": [(1, 2)]})
+        with pytest.raises(TransactionError):
+            diagonal_transaction().apply(other)
+
+    def test_genericity_of_spj_transactions(self):
+        assert is_generic_on(diagonal_transaction(), [chain(3), cycle(3)], extra_universe=[9])
+        assert is_generic_on(complete_graph_transaction(), [chain(3)], extra_universe=[9])

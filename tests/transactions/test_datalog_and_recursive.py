@@ -1,0 +1,160 @@
+"""Tests for the Datalog engine and the recursive transactions of Theorem B."""
+
+import pytest
+
+from repro.db import (
+    Database,
+    chain,
+    chain_and_cycles,
+    cycle,
+    random_graph,
+    transitive_closure,
+    two_branch_tree,
+)
+from repro.db.graph import deterministic_transitive_closure, same_generation
+from repro.transactions import (
+    DatalogAtom,
+    DatalogError,
+    DatalogProgram,
+    DatalogTransaction,
+    Literal,
+    Rule,
+    WhileTransaction,
+    dtc_datalog_transaction,
+    dtc_transaction,
+    sg_datalog_transaction,
+    sg_transaction,
+    tc_datalog_transaction,
+    tc_transaction,
+    tc_while_transaction,
+    transitive_closure_program,
+)
+
+
+class TestDatalogEngine:
+    def test_simple_join(self):
+        program = DatalogProgram([
+            Rule(DatalogAtom("path2", "x", "z"),
+                 [Literal.positive("E", "x", "y"), Literal.positive("E", "y", "z")]),
+        ])
+        result = program.evaluate(chain(4))
+        assert result["path2"] == frozenset({(0, 2), (1, 3)})
+
+    def test_recursion_transitive_closure(self):
+        result = transitive_closure_program().evaluate(chain(5))
+        assert result["tc"] == transitive_closure(chain(5)).edges
+
+    def test_negation_stratified(self):
+        program = DatalogProgram([
+            Rule(DatalogAtom("node", "x"), [Literal.positive("E", "x", "y")]),
+            Rule(DatalogAtom("node", "y"), [Literal.positive("E", "x", "y")]),
+            Rule(DatalogAtom("sink", "x"),
+                 [Literal.positive("node", "x"), Literal.negative("hasout", "x")]),
+            Rule(DatalogAtom("hasout", "x"), [Literal.positive("E", "x", "y")]),
+        ])
+        result = program.evaluate(chain(4))
+        assert result["sink"] == frozenset({(3,)})
+        assert len(program.strata) >= 2
+
+    def test_unstratifiable_rejected(self):
+        with pytest.raises(DatalogError):
+            DatalogProgram([
+                Rule(DatalogAtom("p", "x"),
+                     [Literal.positive("E", "x", "y"), Literal.negative("q", "x")]),
+                Rule(DatalogAtom("q", "x"),
+                     [Literal.positive("E", "x", "y"), Literal.negative("p", "x")]),
+            ])
+
+    def test_unsafe_rules_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(DatalogAtom("p", "x"), [Literal.positive("E", "y", "y")])
+        with pytest.raises(DatalogError):
+            Rule(DatalogAtom("p", "x"),
+                 [Literal.positive("E", "x", "x"), Literal.negative("q", "z")])
+
+    def test_equality_binding_makes_rule_safe(self):
+        rule = Rule(
+            DatalogAtom("p", "x"),
+            [Literal.positive("E", "y", "y"), Literal.equal("x", "y")],
+        )
+        program = DatalogProgram([rule])
+        assert program.evaluate(Database.graph([(1, 1), (1, 2)]))["p"] == frozenset({(1,)})
+
+    def test_constants_in_rules(self):
+        program = DatalogProgram([
+            Rule(DatalogAtom("from_zero", "y"), [Literal.positive("E", 0, "y")]),
+        ])
+        assert program.evaluate(chain(3))["from_zero"] == frozenset({(1,)})
+
+    def test_inequality_constraint(self):
+        program = DatalogProgram([
+            Rule(DatalogAtom("nonloop", "x", "y"),
+                 [Literal.positive("E", "x", "y"), Literal.not_equal("x", "y")]),
+        ])
+        g = Database.graph([(1, 1), (1, 2)])
+        assert program.evaluate(g)["nonloop"] == frozenset({(1, 2)})
+
+    def test_arity_consistency_enforced(self):
+        with pytest.raises(DatalogError):
+            DatalogProgram([
+                Rule(DatalogAtom("p", "x"), [Literal.positive("E", "x", "y")]),
+                Rule(DatalogAtom("p", "x", "y"), [Literal.positive("E", "x", "y")]),
+            ])
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DatalogError):
+            DatalogProgram([])
+
+    def test_datalog_transaction_output_arity_checked(self):
+        program = DatalogProgram([
+            Rule(DatalogAtom("unary", "x"), [Literal.positive("E", "x", "y")]),
+        ])
+        t = DatalogTransaction(program, {"E": "unary"})
+        with pytest.raises(Exception):
+            t.apply(chain(3))
+
+
+class TestRecursiveTransactions:
+    @pytest.fixture(scope="class")
+    def sample_graphs(self):
+        return [
+            chain(4),
+            cycle(3),
+            chain_and_cycles(3, [2]),
+            two_branch_tree(2, 3),
+            random_graph(5, 0.35, seed=5),
+            Database.empty(),
+        ]
+
+    def test_tc_forms_agree(self, sample_graphs):
+        direct, datalog, while_form = tc_transaction(), tc_datalog_transaction(), tc_while_transaction()
+        for g in sample_graphs:
+            expected = transitive_closure(g)
+            assert direct.apply(g) == expected
+            assert datalog.apply(g) == expected
+            # the while form only *adds* edges, so compare against tc of input with edges kept
+            assert while_form.apply(g) == g.union(expected)
+
+    def test_dtc_forms_agree(self, sample_graphs):
+        direct, datalog = dtc_transaction(), dtc_datalog_transaction()
+        for g in sample_graphs:
+            assert direct.apply(g) == deterministic_transitive_closure(g)
+            assert datalog.apply(g) == deterministic_transitive_closure(g)
+
+    def test_sg_forms_agree(self, sample_graphs):
+        direct, datalog = sg_transaction(), sg_datalog_transaction()
+        for g in sample_graphs:
+            assert direct.apply(g) == same_generation(g)
+            assert datalog.apply(g) == same_generation(g)
+
+    def test_dtc_differs_from_tc_when_branching(self):
+        g = Database.graph([(0, 1), (0, 2), (1, 3)])
+        assert deterministic_transitive_closure(g) != transitive_closure(g)
+
+    def test_while_transaction_fixpoint_and_bound(self):
+        t = tc_while_transaction()
+        g = chain(6)
+        assert t.apply(g) == g.union(transitive_closure(g))
+        bounded = WhileTransaction(t.body, max_iterations=1, name="one-step")
+        # a single application cannot complete the closure of a long chain
+        assert bounded.apply(g) != g.union(transitive_closure(g))

