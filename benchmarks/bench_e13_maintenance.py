@@ -81,9 +81,11 @@ POLICIES = {
 }
 
 
-@pytest.mark.parametrize("accounts", [10, 30])
+@pytest.mark.parametrize("accounts", [10, 30, 250])
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
 def test_e13_policy_cost(benchmark, policy_name, accounts):
+    # 250 accounts is the production-scale point: evaluating the rank-3
+    # precondition per transaction is what separates the engines
     workload = build_workload(30, accounts, seed=7)
     constraints = attach_preconditions(workload)
     start = initial_database(accounts)

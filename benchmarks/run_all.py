@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Run every experiment benchmark under both engines and record the trajectory.
+
+For each ``bench_e*.py`` in this directory the runner executes the benchmark
+suite (via pytest, with pytest-benchmark's timing loops disabled so one run
+measures one pass of the workload) under the naive and the compiled backend,
+and writes a ``BENCH_<rev>.json`` perf-trajectory file next to the repository
+root::
+
+    {
+      "rev": "abc1234",
+      "python": "3.11.7",
+      "results": {
+        "e09": {"naive": 12.81, "compiled": 1.07, "speedup": 11.9, "ok": true},
+        ...
+      }
+    }
+
+Collecting one file per revision gives the repo a perf history that later
+sessions (and CI) can diff — the point of the exercise is that the compiled
+engine keeps the whole experiment suite "as fast as the hardware allows".
+
+Usage::
+
+    python benchmarks/run_all.py                 # everything, both backends
+    python benchmarks/run_all.py --quick         # the three engine-bound ones
+    python benchmarks/run_all.py -e e09,e13      # a subset
+    python benchmarks/run_all.py -b compiled     # one backend only
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+# the experiments dominated by formula evaluation (the engine's hot paths)
+QUICK = ("e09", "e12", "e13")
+
+
+def discover() -> dict:
+    """Map experiment ids (``e01``...) to benchmark file paths."""
+    experiments = {}
+    for path in sorted(glob.glob(os.path.join(HERE, "bench_e*.py"))):
+        match = re.match(r"bench_(e\d+)", os.path.basename(path))
+        if match:
+            experiments[match.group(1)] = path
+    return experiments
+
+
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT, capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def run_one(path: str, backend: str, timeout: int) -> dict:
+    """One pytest pass over one benchmark file under one backend."""
+    env = dict(os.environ)
+    env["REPRO_BACKEND"] = backend
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "pytest", path, "-q",
+        "-p", "no:cacheprovider", "--benchmark-disable",
+    ]
+    started = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            command, cwd=ROOT, env=env, capture_output=True, text=True,
+            timeout=timeout,
+        )
+        ok = proc.returncode == 0
+        # prefer pytest's summary line; fall back to stderr (e.g. a bad
+        # REPRO_BACKEND kills the run before pytest prints anything)
+        output = proc.stdout.strip() or proc.stderr.strip()
+        tail = output.splitlines()[-1] if output else ""
+    except subprocess.TimeoutExpired:
+        ok, tail = False, f"timeout after {timeout}s"
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "ok": ok,
+        "summary": tail,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-e", "--experiments", default=None,
+        help="comma-separated experiment ids (e.g. e09,e13); default: all",
+    )
+    parser.add_argument(
+        "-b", "--backends", default="naive,compiled",
+        help="comma-separated backends to run (default: naive,compiled)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"only the engine-bound experiments {', '.join(QUICK)}",
+    )
+    parser.add_argument(
+        "--timeout", type=int, default=900, help="per-run timeout in seconds"
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="output JSON path (default: BENCH_<rev>.json in the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = discover()
+    if args.quick:
+        wanted = [e for e in QUICK if e in experiments]
+    elif args.experiments:
+        wanted = [e.strip() for e in args.experiments.split(",") if e.strip()]
+        unknown = [e for e in wanted if e not in experiments]
+        if unknown:
+            parser.error(f"unknown experiments {unknown}; have {sorted(experiments)}")
+    else:
+        wanted = sorted(experiments)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+
+    rev = git_revision()
+    results: dict = {}
+    all_ok = True
+    for experiment in wanted:
+        row: dict = {}
+        for backend in backends:
+            outcome = run_one(experiments[experiment], backend, args.timeout)
+            row[backend] = outcome["seconds"]
+            row.setdefault("ok", True)
+            row["ok"] = row["ok"] and outcome["ok"]
+            all_ok = all_ok and outcome["ok"]
+            print(
+                f"{experiment:<5} {backend:<9} {outcome['seconds']:>8.2f}s  "
+                f"{'ok' if outcome['ok'] else 'FAIL: ' + outcome['summary']}"
+            )
+        if "naive" in row and "compiled" in row and row["compiled"] > 0:
+            row["speedup"] = round(row["naive"] / row["compiled"], 2)
+            print(f"{experiment:<5} speedup  {row['speedup']:>7.2f}x")
+        results[experiment] = row
+
+    payload = {
+        "rev": rev,
+        "python": platform.python_version(),
+        "backends": backends,
+        "results": results,
+    }
+    output = args.output or os.path.join(ROOT, f"BENCH_{rev}.json")
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {output}")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,10 @@ Sub-packages
     The paper's contribution: prerelations, the weakest-precondition
     calculus, transaction-safety verification, integrity maintenance, robust
     verifiability, and the Theorem 5 / Theorem 7 constructions.
+``repro.engine``
+    The set-at-a-time query engine: FO formulas compiled to relational-
+    algebra plans executed against indexed databases, behind a switchable
+    backend protocol (``REPRO_BACKEND=naive|compiled``).
 
 Quickstart
 ----------
@@ -39,7 +43,14 @@ Quickstart
 >>> # wpc holds on a database iff the constraint holds after the program runs.
 """
 
-from . import core, db, fmt, logic, transactions
+from . import core, db, engine, fmt, logic, transactions
+from .engine import (
+    CompiledBackend,
+    NaiveBackend,
+    active_backend,
+    set_backend,
+    using_backend,
+)
 from .core import (
     ChainTransaction,
     ChainWpcCalculator,
@@ -59,14 +70,20 @@ from .db import Database, Schema, Store
 from .logic import Formula, evaluate, parse
 from .transactions import FOProgram, Transaction
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
     "db",
+    "engine",
     "fmt",
     "logic",
     "transactions",
+    "CompiledBackend",
+    "NaiveBackend",
+    "active_backend",
+    "set_backend",
+    "using_backend",
     "ChainTransaction",
     "ChainWpcCalculator",
     "Constraint",

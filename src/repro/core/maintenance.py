@@ -27,7 +27,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 from ..db.database import Database
 from ..db.storage import Store
-from ..logic.evaluation import evaluate
+from ..engine.backend import active_backend
 from ..logic.signature import EMPTY_SIGNATURE, Signature
 from ..logic.syntax import Formula
 from ..transactions.base import Transaction
@@ -58,7 +58,9 @@ class Constraint:
 
     def holds(self, db: Database, signature: Signature = EMPTY_SIGNATURE) -> bool:
         if isinstance(self.formula, Formula):
-            return evaluate(self.formula, db, signature=signature)
+            # one compiled plan per constraint, reused across the whole
+            # transaction stream (the engine memoises per-(formula, db))
+            return active_backend().evaluate(self.formula, db, signature=signature)
         return self.formula.holds(db)
 
     def precondition_for(self, transaction: Transaction):
@@ -170,7 +172,7 @@ class StaticPreconditionPolicy(MaintenancePolicy):
                 continue
             report.precondition_evaluations += 1
             ok = (
-                evaluate(precondition, state, signature=signature)
+                active_backend().evaluate(precondition, state, signature=signature)
                 if isinstance(precondition, Formula)
                 else precondition.holds(state)
             )

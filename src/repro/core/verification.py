@@ -56,10 +56,19 @@ __all__ = [
 ]
 
 
-def holds(constraint, db: Database, signature: Signature = EMPTY_SIGNATURE) -> bool:
-    """``D |= constraint`` for a syntactic formula or a semantic sentence."""
+def holds(constraint, db: Database, signature: Signature = EMPTY_SIGNATURE, backend=None) -> bool:
+    """``D |= constraint`` for a syntactic formula or a semantic sentence.
+
+    Formula constraints are checked through the query engine (``backend``
+    overrides the process-wide active backend), so bounded ``Preserve`` sweeps
+    compile each constraint once and execute the plan per database.
+    """
     if isinstance(constraint, Formula):
-        return evaluate(constraint, db, signature=signature)
+        if backend is None:
+            from ..engine.backend import active_backend
+
+            backend = active_backend()
+        return backend.evaluate(constraint, db, signature=signature)
     return constraint.holds(db)
 
 

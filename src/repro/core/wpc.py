@@ -335,6 +335,7 @@ def check_wpc(
     precondition,
     databases: Iterable[Database],
     signature: Signature = EMPTY_SIGNATURE,
+    backend=None,
 ) -> bool:
     """Is ``precondition`` a correct precondition of ``constraint`` on every database given?
 
@@ -342,7 +343,7 @@ def check_wpc(
     sentences (objects with ``holds``).
     """
     return find_wpc_counterexample(
-        transaction, constraint, precondition, databases, signature
+        transaction, constraint, precondition, databases, signature, backend
     ) is None
 
 
@@ -352,17 +353,20 @@ def find_wpc_counterexample(
     precondition,
     databases: Iterable[Database],
     signature: Signature = EMPTY_SIGNATURE,
+    backend=None,
 ) -> Optional[Database]:
-    """The first database where ``D |= precondition`` and ``T(D) |= constraint`` disagree."""
+    """The first database where ``D |= precondition`` and ``T(D) |= constraint`` disagree.
 
-    def holds(sentence, db: Database) -> bool:
-        if isinstance(sentence, Formula):
-            return evaluate(sentence, db, signature=signature)
-        return sentence.holds(db)
+    Evaluation goes through the query engine: the precondition and constraint
+    are compiled to set-at-a-time plans once, then executed per database —
+    this sweep is the repo's hottest validation loop.  ``backend`` overrides
+    the process-wide active backend when given.
+    """
+    from .verification import holds
 
     for db in databases:
-        before = holds(precondition, db)
-        after = holds(constraint, transaction.apply(db))
+        before = holds(precondition, db, signature, backend)
+        after = holds(constraint, transaction.apply(db), signature, backend)
         if before != after:
             return db
     return None

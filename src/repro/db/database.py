@@ -16,6 +16,7 @@ the roll-back baseline in the integrity-maintenance benchmark.
 from __future__ import annotations
 
 import itertools
+from types import MappingProxyType
 from typing import (
     Dict,
     FrozenSet,
@@ -51,7 +52,12 @@ class Database:
         relations are interpreted as empty.
     """
 
-    __slots__ = ("_schema", "_relations", "_domain", "_hash")
+    # __weakref__ lets the query engine key its result memo weakly on the
+    # database, so memoised extensions die with the database they describe
+    __slots__ = (
+        "_schema", "_relations", "_domain", "_hash", "_canonical_key", "_indexes",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -73,12 +79,12 @@ class Database:
             validated = frozenset(rel_schema.validate_tuple(row) for row in rows)
             rels[rel_schema.name] = validated
         self._relations = rels
-        domain: Set[object] = set()
-        for rows in rels.values():
-            for row in rows:
-                domain.update(row)
-        self._domain = frozenset(domain)
+        # lazily computed caches — databases are immutable, so none of these
+        # ever needs invalidation
+        self._domain: Optional[FrozenSet[object]] = None
         self._hash: Optional[int] = None
+        self._canonical_key: Optional[Tuple] = None
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Mapping[Tuple_, FrozenSet[Tuple_]]] = {}
 
     # -- constructors -----------------------------------------------------------
 
@@ -100,7 +106,13 @@ class Database:
 
     @property
     def active_domain(self) -> FrozenSet[object]:
-        """``dom(D)``: all values occurring in some tuple of the database."""
+        """``dom(D)``: all values occurring in some tuple of the database (cached)."""
+        if self._domain is None:
+            domain: Set[object] = set()
+            for rows in self._relations.values():
+                for row in rows:
+                    domain.update(row)
+            self._domain = frozenset(domain)
         return self._domain
 
     def relation(self, name: str) -> FrozenSet[Tuple_]:
@@ -109,6 +121,36 @@ class Database:
             return self._relations[name]
         except KeyError as exc:
             raise DatabaseError(f"no relation named {name!r}") from exc
+
+    def index(self, name: str, columns) -> Mapping[Tuple_, FrozenSet[Tuple_]]:
+        """A hash index on relation ``name`` keyed by the given column(s).
+
+        ``columns`` is a 0-based column index or a tuple of them; the result
+        maps each key tuple to the frozen set of full rows carrying that key.
+        Indexes are built lazily, cached on the database, and never need
+        invalidation because databases are immutable.  They back the query
+        engine's constant-bound scans and the graph neighbourhood accessors.
+        """
+        if isinstance(columns, int):
+            columns = (columns,)
+        key = (name, tuple(columns))
+        cached = self._indexes.get(key)
+        if cached is not None:
+            return cached
+        rows = self.relation(name)  # DatabaseError for unknown relations
+        arity = self._schema[name].arity
+        if any(c < 0 or c >= arity for c in key[1]):
+            raise DatabaseError(
+                f"index columns {list(key[1])} out of range for {name!r} (arity {arity})"
+            )
+        buckets: Dict[Tuple_, Set[Tuple_]] = {}
+        for row in rows:
+            buckets.setdefault(tuple(row[c] for c in key[1]), set()).add(row)
+        # read-only view: the index is shared by every consumer of this
+        # (immutable) database, so callers must not be able to mutate it
+        built = MappingProxyType({k: frozenset(v) for k, v in buckets.items()})
+        self._indexes[key] = built
+        return built
 
     def __getitem__(self, name: str) -> FrozenSet[Tuple_]:
         return self.relation(name)
@@ -141,21 +183,21 @@ class Database:
     @property
     def nodes(self) -> FrozenSet[object]:
         """Node set for graph databases: the active domain."""
-        return self._domain
+        return self.active_domain
 
     def successors(self, node: object) -> FrozenSet[object]:
-        """Out-neighbours of ``node`` in a graph database."""
-        return frozenset(y for (x, y) in self.edges if x == node)
+        """Out-neighbours of ``node`` in a graph database (index-backed)."""
+        return frozenset(y for (_x, y) in self.index("E", 0).get((node,), ()))
 
     def predecessors(self, node: object) -> FrozenSet[object]:
-        """In-neighbours of ``node`` in a graph database."""
-        return frozenset(x for (x, y) in self.edges if y == node)
+        """In-neighbours of ``node`` in a graph database (index-backed)."""
+        return frozenset(x for (x, _y) in self.index("E", 1).get((node,), ()))
 
     def out_degree(self, node: object) -> int:
-        return sum(1 for (x, _y) in self.edges if x == node)
+        return len(self.index("E", 0).get((node,), ()))
 
     def in_degree(self, node: object) -> int:
-        return sum(1 for (_x, y) in self.edges if y == node)
+        return len(self.index("E", 1).get((node,), ()))
 
     # -- functional updates --------------------------------------------------------
 
@@ -232,11 +274,17 @@ class Database:
     # -- isomorphism-invariant encodings ------------------------------------------
 
     def canonical_key(self) -> Tuple:
-        """A hashable key identifying the database *up to equality* (not isomorphism)."""
-        return tuple(
-            (name, tuple(sorted(self._relations[name], key=repr)))
-            for name in self._schema.relation_names
-        )
+        """A hashable key identifying the database *up to equality* (not isomorphism).
+
+        Cached: the key is derived from immutable contents and is requested
+        repeatedly (hashing, enumeration dedup, memo keys in the query engine).
+        """
+        if self._canonical_key is None:
+            self._canonical_key = tuple(
+                (name, tuple(sorted(self._relations[name], key=repr)))
+                for name in self._schema.relation_names
+            )
+        return self._canonical_key
 
     def is_isomorphic(self, other: "Database") -> bool:
         """Decide isomorphism by brute force over domain bijections.
@@ -246,8 +294,8 @@ class Database:
         has a faster path for graphs.
         """
         self._check_same_schema(other)
-        dom_a = sorted(self._domain, key=repr)
-        dom_b = sorted(other._domain, key=repr)
+        dom_a = sorted(self.active_domain, key=repr)
+        dom_b = sorted(other.active_domain, key=repr)
         if len(dom_a) != len(dom_b):
             return False
         for name in self._schema.relation_names:

@@ -1,0 +1,316 @@
+"""Evaluation backends: the engine's front door.
+
+A :class:`Backend` answers the two questions every consumer in the repo asks:
+
+* ``evaluate(formula, db, assignment)`` — does ``D |= phi`` hold?
+* ``extension(formula, db, variables)`` — which tuples satisfy ``phi``?
+
+Two implementations are provided:
+
+* :class:`NaiveBackend` — the original tuple-at-a-time recursive interpreter
+  (:class:`repro.logic.evaluation.Model`), kept as the semantics oracle;
+* :class:`CompiledBackend` — compiles formulas once to set-at-a-time algebra
+  plans (:mod:`repro.engine.compile`) and executes them against indexed
+  databases, with a per-``(formula, db)`` memo for repeated checks (the shape
+  of every validation sweep and of integrity maintenance: the same constraint
+  or precondition evaluated against a stream of databases).
+
+The *active* backend is process-global, defaults to the compiled engine, and
+can be chosen with ``REPRO_BACKEND=naive|compiled`` in the environment, with
+:func:`set_backend`, or temporarily with the :func:`using_backend` context
+manager.  ``repro.logic.evaluation.evaluate`` / ``extension`` / ``satisfies``
+dispatch through it, so the whole repo switches engines in one place.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import (
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..db.database import Database, DatabaseError
+from ..logic.signature import EMPTY_SIGNATURE, Signature, SignatureError
+from ..logic.syntax import Formula
+from .compile import CompileError, compile_extension
+from .plan import ExecutionContext, Plan
+
+__all__ = [
+    "Backend",
+    "NaiveBackend",
+    "CompiledBackend",
+    "active_backend",
+    "set_backend",
+    "using_backend",
+    "backend_from_name",
+]
+
+Row = Tuple[object, ...]
+
+
+class Backend:
+    """Protocol of an evaluation backend."""
+
+    name = "abstract"
+
+    def evaluate(
+        self,
+        formula: Formula,
+        db: Database,
+        assignment: Optional[Mapping[str, object]] = None,
+        signature: Signature = EMPTY_SIGNATURE,
+        domain: Optional[Iterable[object]] = None,
+    ) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def extension(
+        self,
+        formula: Formula,
+        db: Database,
+        variables: Sequence[str],
+        signature: Signature = EMPTY_SIGNATURE,
+        domain: Optional[Iterable[object]] = None,
+    ) -> Set[Row]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class NaiveBackend(Backend):
+    """The recursive tuple-at-a-time interpreter (the semantics oracle)."""
+
+    name = "naive"
+
+    def evaluate(self, formula, db, assignment=None, signature=EMPTY_SIGNATURE, domain=None):
+        from ..logic.evaluation import Model
+
+        return Model(db, signature, domain).check(formula, assignment)
+
+    def extension(self, formula, db, variables, signature=EMPTY_SIGNATURE, domain=None):
+        from ..logic.evaluation import Model
+
+        return Model(db, signature, domain).extension(formula, list(variables))
+
+
+class _LRU:
+    """A tiny bounded LRU mapping (thread-safe enough for CPython use here)."""
+
+    __slots__ = ("maxsize", "_data", "_lock")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, default=None):
+        with self._lock:
+            try:
+                value = self._data[key]
+            except (KeyError, TypeError):
+                return default
+            self._data.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            try:
+                self._data[key] = value
+            except TypeError:  # unhashable key component
+                return
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class CompiledBackend(Backend):
+    """Set-at-a-time evaluation through compiled relational-algebra plans.
+
+    Two caches make the common access patterns cheap:
+
+    * a **plan cache** keyed by ``(formula, variables)`` — plans are
+      database-independent, so a constraint checked against hundreds of
+      databases is compiled exactly once;
+    * a **result memo**, weakly keyed by database, mapping ``(formula,
+      variables, domain, signature)`` to the computed extension — databases
+      are immutable value objects, so memoised extensions stay valid for as
+      long as the database lives, and die with it (a long transaction stream
+      over ever-new states retains nothing).  Repeated ``D |= phi`` checks
+      (e.g. one candidate tuple at a time against the same database, the
+      integrity-maintenance hot path) collapse into one plan execution plus
+      set membership.  ``memo_size`` bounds the entries *per database*.
+
+    When compilation fails (a formula type the compiler does not know) the
+    backend transparently falls back to the naive interpreter, so it is always
+    safe to keep as the process-wide default.
+    """
+
+    name = "compiled"
+
+    def __init__(self, plan_cache_size: int = 2048, memo_size: int = 512):
+        self._plans: _LRU = _LRU(plan_cache_size)
+        self._memo_size = memo_size
+        self._memo: "weakref.WeakKeyDictionary[Database, _LRU]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._naive = NaiveBackend()
+        self.fallbacks = 0
+
+    # -- cache plumbing --------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        self._plans.clear()
+        self._memo.clear()
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "plans": len(self._plans._data),
+            "memo": sum(len(lru) for lru in self._memo.values()),
+        }
+
+    def _memo_for(self, db: Database) -> _LRU:
+        lru = self._memo.get(db)
+        if lru is None:
+            lru = _LRU(self._memo_size)
+            self._memo[db] = lru
+        return lru
+
+    def plan_for(self, formula: Formula, variables: Tuple[str, ...]) -> Plan:
+        """The (cached) compiled plan for ``formula`` over ``variables``."""
+        key = (formula, variables)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_extension(formula, variables)
+            self._plans.put(key, plan)
+        return plan
+
+    # -- the Backend API --------------------------------------------------------
+
+    def extension(self, formula, db, variables, signature=EMPTY_SIGNATURE, domain=None):
+        variables = tuple(variables)
+        missing = formula.free_variables() - set(variables)
+        if missing:
+            from ..logic.evaluation import EvaluationError
+
+            raise EvaluationError(
+                f"extension over {list(variables)} leaves variables {sorted(missing)} free"
+            )
+        # materialise the domain once: `domain` may be a one-shot iterable,
+        # and it is needed both for the memo key and for execution/fallback
+        domain_key = None if domain is None else frozenset(domain)
+        memo = self._memo_for(db)
+        memo_key = (formula, variables, domain_key, signature)
+        cached = memo.get(memo_key)
+        if cached is not None:
+            return set(cached)
+        try:
+            plan = self.plan_for(formula, variables)
+        except CompileError:
+            self.fallbacks += 1
+            return self._naive.extension(formula, db, variables, signature, domain_key)
+        ctx = ExecutionContext(db, domain_key, signature)
+        try:
+            rows = plan.rows(ctx)
+        except (DatabaseError, SignatureError) as exc:
+            # match the interpreter's error contract (missing relations or
+            # Omega symbols surface as EvaluationError)
+            from ..logic.evaluation import EvaluationError
+
+            raise EvaluationError(str(exc)) from exc
+        memo.put(memo_key, rows)
+        return set(rows)
+
+    def evaluate(self, formula, db, assignment=None, signature=EMPTY_SIGNATURE, domain=None):
+        env = dict(assignment or {})
+        free = tuple(sorted(formula.free_variables()))
+        missing = set(free) - set(env)
+        if missing:
+            from ..logic.evaluation import EvaluationError
+
+            raise EvaluationError(
+                f"formula has unassigned free variables {sorted(missing)}"
+            )
+        # materialise once — `domain` may be a one-shot iterable and is used
+        # for the membership test, the fallback, and the extension call
+        frozen = frozenset(domain) if domain is not None else None
+        effective_domain = frozen if frozen is not None else db.active_domain
+        values = tuple(env[v] for v in free)
+        if any(value not in effective_domain for value in values):
+            # Assignment values outside the quantification domain cannot come
+            # from an extension (which only ranges over the domain) — delegate
+            # to the interpreter, which handles arbitrary assignments.
+            return self._naive.evaluate(formula, db, env, signature, frozen)
+        if free:
+            # substitute the assignment as constants and check the resulting
+            # sentence — materialising the full domain^k extension to answer
+            # one membership query would be wasteful for wide formulas
+            from ..logic.terms import Const
+
+            formula = formula.substitute({v: Const(env[v]) for v in free})
+        rows = self.extension(formula, db, (), signature, frozen)
+        return bool(rows)
+
+
+# ---------------------------------------------------------------------------
+# the process-global active backend
+# ---------------------------------------------------------------------------
+
+def backend_from_name(name: str) -> Backend:
+    """Instantiate a backend by its registry name (``naive`` / ``compiled``)."""
+    normalized = name.strip().lower()
+    if normalized in ("naive", "interpreter", "model"):
+        return NaiveBackend()
+    if normalized in ("compiled", "engine", "plans"):
+        return CompiledBackend()
+    raise ValueError(f"unknown backend {name!r}; expected 'naive' or 'compiled'")
+
+
+try:
+    _ACTIVE: Backend = backend_from_name(os.environ.get("REPRO_BACKEND", "compiled"))
+except ValueError as exc:
+    raise ValueError(f"invalid REPRO_BACKEND environment variable: {exc}") from exc
+
+
+def active_backend() -> Backend:
+    """The backend all module-level evaluation helpers dispatch through."""
+    return _ACTIVE
+
+
+def set_backend(backend) -> Backend:
+    """Install ``backend`` (an instance or a registry name) as the active backend."""
+    global _ACTIVE
+    if isinstance(backend, str):
+        backend = backend_from_name(backend)
+    if not isinstance(backend, Backend):
+        raise TypeError(f"expected a Backend or name, got {type(backend).__name__}")
+    _ACTIVE = backend
+    return backend
+
+
+@contextmanager
+def using_backend(backend):
+    """Temporarily switch the active backend (for tests and A/B benchmarks)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    set_backend(backend)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

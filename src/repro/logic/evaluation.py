@@ -222,6 +222,14 @@ def _restore(env: Dict[str, object], variable: str, saved: object) -> None:
 # ---------------------------------------------------------------------------
 # module-level conveniences
 # ---------------------------------------------------------------------------
+#
+# These dispatch through the active engine backend (see ``repro.engine``):
+# by default formulas are compiled to set-at-a-time relational-algebra plans
+# and executed against indexed databases; ``REPRO_BACKEND=naive`` (or
+# ``repro.engine.set_backend``) routes everything back through the recursive
+# :class:`Model` interpreter above, which is kept as the semantics oracle.
+# The import is deferred to avoid a package-load cycle (the engine itself
+# needs the syntax and database layers).
 
 def evaluate(
     formula: Formula,
@@ -231,7 +239,9 @@ def evaluate(
     domain: Optional[Iterable[object]] = None,
 ) -> bool:
     """``D |= formula`` (under ``assignment`` for free variables)."""
-    return Model(db, signature, domain).check(formula, assignment)
+    from ..engine.backend import active_backend
+
+    return active_backend().evaluate(formula, db, assignment, signature, domain)
 
 
 def satisfies(db: Database, formula: Formula, **kwargs) -> bool:
@@ -256,4 +266,6 @@ def extension(
     domain: Optional[Iterable[object]] = None,
 ) -> Set[Tuple[object, ...]]:
     """The set of tuples satisfying ``formula`` in ``db`` (active-domain semantics)."""
-    return Model(db, signature, domain).extension(formula, variables)
+    from ..engine.backend import active_backend
+
+    return active_backend().extension(formula, db, variables, signature, domain)

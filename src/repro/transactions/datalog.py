@@ -5,8 +5,10 @@ be Datalog¬-definable, and Theorem B covers transaction languages that can
 express transitive closure, deterministic transitive closure or
 same-generation — all classical Datalog programs.  This module provides the
 substrate: a small but complete stratified Datalog¬ evaluator with semi-naive
-evaluation, which :mod:`repro.transactions.recursive` uses to define those
-transactions, and which the examples use directly.
+evaluation and set-at-a-time rule bodies (positive literals are hash-joined on
+their shared variables, negation is an antijoin-style set lookup), which
+:mod:`repro.transactions.recursive` uses to define those transactions, and
+which the examples use directly.
 
 Programs consist of :class:`Rule` objects ``head :- body`` where the body is a
 list of literals: positive or negated atoms over EDB (database) or IDB
@@ -18,7 +20,6 @@ literal or inequality appears in some positive body literal.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -75,6 +76,9 @@ class DatalogAtom:
 
 def _is_variable(term: object) -> bool:
     return isinstance(term, str) and bool(term) and (term[0].islower() or term[0] == "_")
+
+
+_UNBOUND = object()
 
 
 @dataclass(frozen=True)
@@ -274,7 +278,13 @@ class DatalogProgram:
         pivot: Optional[str],
         pivot_delta: Optional[Set[TupleRow]],
     ) -> Iterable[TupleRow]:
-        """All head tuples derivable by ``rule``.
+        """All head tuples derivable by ``rule``, evaluated set-at-a-time.
+
+        The positive body literals are joined with hash joins on their shared
+        variables (instead of the earlier tuple-at-a-time nested-loop
+        backtracking); equalities then extend or filter the joined bindings,
+        and negated literals and inequalities are applied as per-row set
+        lookups (an antijoin against the finished lower strata).
 
         When ``pivot`` is given, at least one occurrence of that predicate in
         the body is required to match a tuple from ``pivot_delta`` (semi-naive
@@ -289,91 +299,161 @@ class DatalogProgram:
         )
         results: Set[TupleRow] = set()
         for delta_occurrence in occurrences:
-            for binding in self._join(
-                positive_literals, facts, 0, {}, delta_occurrence, pivot_delta
-            ):
-                extended = self._extend_with_equalities(rule, binding)
-                if extended is None:
-                    continue
-                if self._constraints_hold(rule, extended, facts):
-                    results.add(self._instantiate(rule.head, extended))
+            joined = self._join_literals(
+                positive_literals, facts, delta_occurrence, pivot_delta
+            )
+            if joined is None:
+                continue
+            columns, rows = joined
+            columns, rows = self._apply_equalities(rule, columns, rows)
+            if rows and self._has_constraints(rule):
+                rows = {
+                    row
+                    for row in rows
+                    if self._constraints_hold(rule, dict(zip(columns, row)), facts)
+                }
+            head_terms = rule.head.terms
+            index_of = {name: i for i, name in enumerate(columns)}
+            for row in rows:
+                results.add(
+                    tuple(
+                        row[index_of[t]] if _is_variable(t) else t for t in head_terms
+                    )
+                )
         return results
 
     @staticmethod
-    def _extend_with_equalities(
-        rule: Rule, binding: Dict[str, object]
-    ) -> Optional[Dict[str, object]]:
-        """Bind variables through ``=`` body literals (e.g. ``x = y`` with ``y`` bound).
+    def _literal_table(
+        atom: DatalogAtom, source: Iterable[TupleRow]
+    ) -> Tuple[Tuple[str, ...], Set[TupleRow]]:
+        """Project a fact set through an atom pattern: match constants and
+        repeated variables, output one column per distinct variable."""
+        columns: List[str] = []
+        first_position: Dict[str, int] = {}
+        for position, term in enumerate(atom.terms):
+            if _is_variable(term) and term not in first_position:
+                first_position[term] = position
+                columns.append(term)
+        rows: Set[TupleRow] = set()
+        arity = atom.arity
+        for fact in source:
+            if len(fact) != arity:
+                continue
+            binding: Dict[str, object] = {}
+            ok = True
+            for term, value in zip(atom.terms, fact):
+                if _is_variable(term):
+                    bound = binding.get(term, _UNBOUND)
+                    if bound is _UNBOUND:
+                        binding[term] = value
+                    elif bound != value:
+                        ok = False
+                        break
+                elif term != value:
+                    ok = False
+                    break
+            if ok:
+                rows.add(tuple(binding[c] for c in columns))
+        return tuple(columns), rows
 
-        Returns the extended binding, or ``None`` when an equality over two
-        bound values is violated (the remaining constraints are checked later).
-        """
-        extended = dict(binding)
-        changed = True
-        while changed:
-            changed = False
-            for literal in rule.body:
-                if literal.kind != "eq":
-                    continue
-                left_bound = not _is_variable(literal.left) or literal.left in extended
-                right_bound = not _is_variable(literal.right) or literal.right in extended
-                left_value = (
-                    extended[literal.left] if _is_variable(literal.left) and left_bound
-                    else literal.left
-                )
-                right_value = (
-                    extended[literal.right] if _is_variable(literal.right) and right_bound
-                    else literal.right
-                )
-                if left_bound and right_bound:
-                    if left_value != right_value:
-                        return None
-                elif left_bound and _is_variable(literal.right):
-                    extended[literal.right] = left_value
-                    changed = True
-                elif right_bound and _is_variable(literal.left):
-                    extended[literal.left] = right_value
-                    changed = True
-        return extended
-
-    def _join(
+    def _join_literals(
         self,
         literals: List[Literal],
         facts: Mapping[str, Set[TupleRow]],
-        index: int,
-        binding: Dict[str, object],
         delta_occurrence: Optional[int],
         pivot_delta: Optional[Set[TupleRow]],
-    ):
-        if index == len(literals):
-            yield dict(binding)
-            return
-        literal = literals[index]
-        source = facts.get(literal.atom.predicate, set())
-        if delta_occurrence is not None and index == delta_occurrence:
-            source = pivot_delta if pivot_delta is not None else source
-        for row in source:
-            extended = self._match(literal.atom, row, binding)
-            if extended is not None:
-                yield from self._join(
-                    literals, facts, index + 1, extended, delta_occurrence, pivot_delta
-                )
+    ) -> Optional[Tuple[Tuple[str, ...], Set[TupleRow]]]:
+        """Hash-join the positive body literals; ``None`` when the join is empty."""
+        columns: Tuple[str, ...] = ()
+        rows: Set[TupleRow] = {()}
+        for index, literal in enumerate(literals):
+            source: Iterable[TupleRow] = facts.get(literal.atom.predicate, set())
+            if delta_occurrence is not None and index == delta_occurrence:
+                source = pivot_delta if pivot_delta is not None else source
+            lit_columns, lit_rows = self._literal_table(literal.atom, source)
+            if not lit_rows:
+                return None
+            shared = tuple(c for c in columns if c in lit_columns)
+            extra = tuple(c for c in lit_columns if c not in columns)
+            if not shared:
+                extra_idx = tuple(lit_columns.index(c) for c in extra)
+                rows = {
+                    left + tuple(right[i] for i in extra_idx)
+                    for left in rows
+                    for right in lit_rows
+                }
+            else:
+                key_left = tuple(columns.index(c) for c in shared)
+                key_right = tuple(lit_columns.index(c) for c in shared)
+                extra_idx = tuple(lit_columns.index(c) for c in extra)
+                table: Dict[TupleRow, List[TupleRow]] = {}
+                for right in lit_rows:
+                    table.setdefault(
+                        tuple(right[i] for i in key_right), []
+                    ).append(tuple(right[i] for i in extra_idx))
+                joined: Set[TupleRow] = set()
+                for left in rows:
+                    for suffix in table.get(tuple(left[i] for i in key_left), ()):
+                        joined.add(left + suffix)
+                rows = joined
+            columns = columns + extra
+            if not rows:
+                return None
+        return columns, rows
+
+    def _apply_equalities(
+        self, rule: Rule, columns: Tuple[str, ...], rows: Set[TupleRow]
+    ) -> Tuple[Tuple[str, ...], Set[TupleRow]]:
+        """Resolve ``=`` body literals set-at-a-time.
+
+        An equality between two bound positions filters the row set; one
+        between a bound position (or constant) and an unbound variable appends
+        a column; propagation repeats until a fixpoint, mirroring the old
+        per-binding ``_extend_with_equalities``.
+        """
+        equalities = [l for l in rule.body if l.kind == "eq"]
+        changed = True
+        while changed and equalities:
+            changed = False
+            for literal in list(equalities):
+                known = set(columns)
+                left_bound = not _is_variable(literal.left) or literal.left in known
+                right_bound = not _is_variable(literal.right) or literal.right in known
+
+                def value_getter(term, bound):
+                    if _is_variable(term) and bound:
+                        position = columns.index(term)
+                        return lambda row: row[position]
+                    return lambda row: term
+
+                if left_bound and right_bound:
+                    left_of = value_getter(literal.left, True)
+                    right_of = value_getter(literal.right, True)
+                    rows = {row for row in rows if left_of(row) == right_of(row)}
+                    equalities.remove(literal)
+                    changed = True
+                elif left_bound and _is_variable(literal.right):
+                    left_of = value_getter(literal.left, True)
+                    rows = {row + (left_of(row),) for row in rows}
+                    columns = columns + (literal.right,)
+                    equalities.remove(literal)
+                    changed = True
+                elif right_bound and _is_variable(literal.left):
+                    right_of = value_getter(literal.right, True)
+                    rows = {row + (right_of(row),) for row in rows}
+                    columns = columns + (literal.left,)
+                    equalities.remove(literal)
+                    changed = True
+        if equalities and rows:
+            raise DatalogError(
+                f"rule {rule}: equality literals "
+                f"{', '.join(map(str, equalities))} have unbound variables"
+            )
+        return columns, rows
 
     @staticmethod
-    def _match(
-        atom: DatalogAtom, row: TupleRow, binding: Dict[str, object]
-    ) -> Optional[Dict[str, object]]:
-        if len(row) != atom.arity:
-            return None
-        extended = dict(binding)
-        for term, value in zip(atom.terms, row):
-            if _is_variable(term):
-                if term in extended and extended[term] != value:
-                    return None
-                extended[term] = value
-            elif term != value:
-                return None
-        return extended
+    def _has_constraints(rule: Rule) -> bool:
+        return any(l.kind in ("negated", "neq") for l in rule.body)
 
     def _constraints_hold(
         self, rule: Rule, binding: Mapping[str, object], facts: Mapping[str, Set[TupleRow]]

@@ -101,6 +101,46 @@ class ExecutionContext:
 
         return itertools.product(ordered, repeat=arity)
 
+    def satisfying_candidates(self, condition: Formula, variables: Sequence[str]):
+        """All candidate tuples over ``Gamma`` satisfying ``condition``, set-at-a-time.
+
+        Quantifiers in ``condition`` range over ``base_domain`` (the paper's
+        semantics); candidate tuples range over ``gamma_values``.  The bulk of
+        the candidates — those drawn entirely from the base domain — are
+        produced by one compiled-plan execution (the condition's extension);
+        only tuples touching constants inserted by earlier statements (usually
+        none, always few) are checked tuple-at-a-time.
+        """
+        from ..engine.backend import active_backend
+
+        variables = tuple(variables)
+        rows = set(
+            active_backend().extension(
+                condition, self.database, variables, self.signature, self.base_domain
+            )
+        )
+        extra = self.gamma_values - self.base_domain
+        if extra:
+            import itertools
+
+            model = self.model()
+            ordered = sorted(self.gamma_values, key=repr)
+            base = self.base_domain
+            for candidate in itertools.product(ordered, repeat=len(variables)):
+                if all(value in base for value in candidate):
+                    continue  # already decided by the extension
+                if model.check(condition, dict(zip(variables, candidate))):
+                    rows.add(candidate)
+        return rows
+
+    def condition_extension(self, condition: Formula, variables: Sequence[str]):
+        """The condition's extension over the base domain (one plan execution)."""
+        from ..engine.backend import active_backend
+
+        return active_backend().extension(
+            condition, self.database, tuple(variables), self.signature, self.base_domain
+        )
+
 
 class Statement:
     """Base class of program statements."""
@@ -174,12 +214,7 @@ class InsertWhere(Statement):
         return state.replace(self.relation, new_body)
 
     def execute(self, context: ExecutionContext) -> ExecutionContext:
-        model = context.model()
-        rows = [
-            candidate
-            for candidate in context.candidate_tuples(len(self.variables))
-            if model.check(self.condition, dict(zip(self.variables, candidate)))
-        ]
+        rows = context.satisfying_candidates(self.condition, self.variables)
         database = context.database.insert(self.relation, *rows) if rows else context.database
         return context.with_database(database)
 
@@ -205,12 +240,29 @@ class DeleteWhere(Statement):
         return state.replace(self.relation, new_body)
 
     def execute(self, context: ExecutionContext) -> ExecutionContext:
-        model = context.model()
-        doomed = [
-            row
-            for row in context.database.relation(self.relation)
-            if model.check(self.condition, dict(zip(self.variables, row)))
-        ]
+        # one set-at-a-time extension decides every stored row whose values
+        # lie in the base domain; rows touching inserted constants (outside
+        # the quantification domain) fall back to the interpreter.  Only the
+        # first min(len(variables), arity) variables ever bind to a row (zip
+        # semantics), so the extension ranges over exactly those.
+        arity = context.database.schema[self.relation].arity
+        bound = tuple(self.variables[:arity])
+        width = len(bound)
+        extension = None
+        model = None
+        doomed = []
+        for row in context.database.relation(self.relation):
+            values = tuple(row[:width])
+            if all(value in context.base_domain for value in values):
+                if extension is None:
+                    extension = context.condition_extension(self.condition, bound)
+                if values in extension:
+                    doomed.append(row)
+            else:
+                if model is None:
+                    model = context.model()
+                if model.check(self.condition, dict(zip(self.variables, row))):
+                    doomed.append(row)
         database = (
             context.database.delete(self.relation, *doomed) if doomed else context.database
         )
@@ -238,12 +290,7 @@ class SetRelation(Statement):
         return state.replace(self.relation, make_and(rebased, *guards))
 
     def execute(self, context: ExecutionContext) -> ExecutionContext:
-        model = context.model()
-        rows = [
-            candidate
-            for candidate in context.candidate_tuples(len(self.variables))
-            if model.check(self.definition, dict(zip(self.variables, candidate)))
-        ]
+        rows = context.satisfying_candidates(self.definition, self.variables)
         return context.with_database(
             context.database.with_relation(self.relation, rows)
         )
@@ -290,7 +337,13 @@ class Conditional(Statement):
         return SymbolicState(state.schema, merged_definitions, gamma, state.signature)
 
     def execute(self, context: ExecutionContext) -> ExecutionContext:
-        branch = self.then_branch if context.model().check(self.test) else self.else_branch
+        from ..engine.backend import active_backend
+
+        test_holds = active_backend().evaluate(
+            self.test, context.database, signature=context.signature,
+            domain=context.base_domain,
+        )
+        branch = self.then_branch if test_holds else self.else_branch
         current = context
         for statement in branch:
             current = statement.execute(current)

@@ -1,0 +1,268 @@
+"""Property-based equivalence: ``CompiledBackend`` ≡ ``NaiveBackend``.
+
+The compiled engine must agree with the recursive interpreter — the semantics
+oracle — on *every* formula of the specification languages and every
+database.  Hypothesis generates random formulas (all connectives, both
+quantifiers, counting quantifiers, equalities, constants inside and outside
+the active domain) crossed with random graph databases, and the suite asserts
+that sentences evaluate identically and open formulas have identical
+extensions, under both the default active-domain semantics and explicitly
+enlarged/shrunk quantification domains.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, chain, cycle, random_graph
+from repro.engine import CompiledBackend, NaiveBackend
+from repro.logic import arithmetic_signature, parse
+from repro.logic.syntax import (
+    And,
+    Atom,
+    BOTTOM,
+    CountingExists,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    InterpretedAtom,
+    Not,
+    Or,
+    TOP,
+)
+
+NAIVE = NaiveBackend()
+COMPILED = CompiledBackend()
+
+VARIABLES = ("x", "y", "z")
+# constants 0..3 can be active; 7 and "ghost" never occur in generated graphs
+CONSTANTS = (0, 1, 2, 3, 7, "ghost")
+
+
+def terms():
+    return st.one_of(
+        st.sampled_from(VARIABLES),
+        st.sampled_from(CONSTANTS).map(lambda c: ("const", c)),
+    )
+
+
+def _mk_term(spec):
+    if isinstance(spec, tuple) and spec[0] == "const":
+        from repro.logic.terms import Const
+
+        return Const(spec[1])
+    return spec  # a variable name; Atom/Eq coerce strings to Var
+
+
+def atoms():
+    return st.tuples(terms(), terms()).map(
+        lambda pair: Atom("E", _mk_term(pair[0]), _mk_term(pair[1]))
+    )
+
+
+def equalities():
+    return st.tuples(terms(), terms()).map(
+        lambda pair: Eq(_mk_term(pair[0]), _mk_term(pair[1]))
+    )
+
+
+def base_formulas():
+    return st.one_of(
+        atoms(),
+        equalities(),
+        st.just(TOP),
+        st.just(BOTTOM),
+    )
+
+
+def formulas(max_depth: int = 3):
+    return st.recursive(
+        base_formulas(),
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+            st.tuples(children, children).map(lambda p: Implies(*p)),
+            st.tuples(children, children).map(lambda p: Iff(*p)),
+            st.tuples(st.sampled_from(VARIABLES), children).map(
+                lambda p: Exists(p[0], p[1])
+            ),
+            st.tuples(st.sampled_from(VARIABLES), children).map(
+                lambda p: Forall(p[0], p[1])
+            ),
+            st.tuples(
+                st.sampled_from(VARIABLES), st.integers(0, 3), children
+            ).map(lambda p: CountingExists(p[0], p[1], p[2])),
+        ),
+        max_leaves=8,
+    )
+
+
+def graphs():
+    edge = st.tuples(st.integers(0, 3), st.integers(0, 3))
+    return st.frozensets(edge, max_size=8).map(Database.graph)
+
+
+COMMON_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON_SETTINGS
+@given(formula=formulas(), db=graphs())
+def test_extensions_agree(formula, db):
+    variables = sorted(formula.free_variables())
+    naive = NAIVE.extension(formula, db, variables)
+    compiled = COMPILED.extension(formula, db, variables)
+    assert compiled == naive, f"extension mismatch for {formula} on {db}"
+
+
+@COMMON_SETTINGS
+@given(formula=formulas(), db=graphs())
+def test_sentence_evaluation_agrees(formula, db):
+    closed = formula
+    for variable in sorted(formula.free_variables()):
+        closed = Exists(variable, closed)
+    assert COMPILED.evaluate(closed, db) == NAIVE.evaluate(closed, db)
+
+
+@COMMON_SETTINGS
+@given(formula=formulas(), db=graphs())
+def test_extensions_agree_on_extra_variables(formula, db):
+    """Variables beyond the free ones range over the domain in both backends."""
+    variables = sorted(set(VARIABLES) | formula.free_variables())
+    naive = NAIVE.extension(formula, db, variables)
+    compiled = COMPILED.extension(formula, db, variables)
+    assert compiled == naive
+
+
+@COMMON_SETTINGS
+@given(formula=formulas(), db=graphs(), extra=st.frozensets(st.integers(10, 13), max_size=3))
+def test_custom_enlarged_domain_agrees(formula, db, extra):
+    """Gamma(D)-style quantification domains larger than the active domain."""
+    domain = db.active_domain | extra
+    variables = sorted(formula.free_variables())
+    naive = NAIVE.extension(formula, db, variables, domain=domain)
+    compiled = COMPILED.extension(formula, db, variables, domain=domain)
+    assert compiled == naive
+
+
+@COMMON_SETTINGS
+@given(formula=formulas(), db=graphs())
+def test_shrunk_domain_agrees(formula, db):
+    """Quantification restricted to a subset of the active domain."""
+    domain = frozenset(v for v in db.active_domain if isinstance(v, int) and v % 2 == 0)
+    variables = sorted(formula.free_variables())
+    naive = NAIVE.extension(formula, db, variables, domain=domain)
+    compiled = COMPILED.extension(formula, db, variables, domain=domain)
+    assert compiled == naive
+
+
+@COMMON_SETTINGS
+@given(db=graphs(), value=st.sampled_from(CONSTANTS), threshold=st.integers(0, 4))
+def test_counting_with_constants(db, value, threshold):
+    """Counting quantifiers whose bodies mention (possibly inactive) constants."""
+    from repro.logic.terms import Const
+
+    formula = CountingExists("y", threshold, Or(Atom("E", "x", "y"), Eq("y", Const(value))))
+    naive = NAIVE.extension(formula, db, ["x"])
+    compiled = COMPILED.extension(formula, db, ["x"])
+    assert compiled == naive
+
+
+class TestInterpretedSignatures:
+    """FOc(Omega): interpreted predicates and function terms."""
+
+    SIGNATURE = arithmetic_signature()
+
+    @COMMON_SETTINGS
+    @given(db=graphs())
+    def test_interpreted_predicate_pushdown(self, db):
+        formula = parse(
+            "forall x y . E(x, y) -> leq(x, y)", predicates=["leq"]
+        )
+        assert COMPILED.evaluate(formula, db, signature=self.SIGNATURE) == NAIVE.evaluate(
+            formula, db, signature=self.SIGNATURE
+        )
+
+    @COMMON_SETTINGS
+    @given(db=graphs())
+    def test_function_terms_in_atoms(self, db):
+        formula = parse("exists x . E(x, succ(x))", functions=["succ"])
+        assert COMPILED.evaluate(formula, db, signature=self.SIGNATURE) == NAIVE.evaluate(
+            formula, db, signature=self.SIGNATURE
+        )
+
+    @COMMON_SETTINGS
+    @given(db=graphs())
+    def test_function_terms_in_equalities(self, db):
+        formula = parse(
+            "exists x . exists y . E(x, y) & plus(x, 1) = y", functions=["plus"]
+        )
+        assert COMPILED.evaluate(formula, db, signature=self.SIGNATURE) == NAIVE.evaluate(
+            formula, db, signature=self.SIGNATURE
+        )
+
+
+class TestDeterministicCorners:
+    """Hand-picked corners the random sweep might visit rarely."""
+
+    def check(self, formula, db, variables=None, domain=None):
+        variables = sorted(formula.free_variables()) if variables is None else variables
+        naive = NAIVE.extension(formula, db, variables, domain=domain)
+        compiled = COMPILED.extension(formula, db, variables, domain=domain)
+        assert compiled == naive
+
+    def test_empty_database(self):
+        empty = Database.graph([])
+        self.check(parse("forall x . E(x, x)"), empty)          # vacuously true
+        self.check(parse("exists x . x = x"), empty)            # false: no witness
+        self.check(CountingExists("x", 0, BOTTOM), empty)       # >=0: vacuously true
+
+    def test_constants_outside_active_domain(self):
+        db = chain(3)
+        self.check(parse("E(0, 1) & ~E(99, 100)"), db)
+        self.check(parse("exists x . x = 99"), db)              # 99 inactive: false
+        self.check(Eq("x", 99), db)                             # empty extension
+        self.check(parse("forall x . ~(x = 99)"), db)           # true
+
+    def test_vacuous_quantifier_needs_witness(self):
+        empty = Database.graph([])
+        db = cycle(2)
+        vacuous = Exists("x", TOP)
+        assert not COMPILED.evaluate(vacuous, empty)
+        assert COMPILED.evaluate(vacuous, db)
+        assert COMPILED.evaluate(Forall("x", BOTTOM), empty)    # empty domain
+        assert not COMPILED.evaluate(Forall("x", BOTTOM), db)
+
+    def test_counting_exact_thresholds(self):
+        db = Database.graph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        for k in range(5):
+            self.check(CountingExists("y", k, Atom("E", "x", "y")), db)
+
+    def test_deep_alternation(self):
+        db = random_graph(5, 0.4, seed=13)
+        formula = parse("forall x . exists y . forall z . E(x, y) -> (E(y, z) -> E(x, z))")
+        assert COMPILED.evaluate(formula, db) == NAIVE.evaluate(formula, db)
+
+    def test_assignment_outside_domain_falls_back(self):
+        db = chain(3)
+        formula = parse("~E(x, x)")
+        # 99 is not in the active domain; the naive path must be taken and agree
+        assert COMPILED.evaluate(formula, db, {"x": 99}) == NAIVE.evaluate(
+            formula, db, {"x": 99}
+        )
+
+    def test_memo_returns_fresh_sets(self):
+        db = cycle(3)
+        formula = parse("E(x, y)")
+        first = COMPILED.extension(formula, db, ["x", "y"])
+        first.add(("junk", "junk"))
+        second = COMPILED.extension(formula, db, ["x", "y"])
+        assert ("junk", "junk") not in second

@@ -1,0 +1,242 @@
+"""Unit tests for the plan operators, the compiler's plan shapes, the
+database hash indexes, and backend selection plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, DatabaseError, chain, cycle
+from repro.engine import (
+    Antijoin,
+    CompiledBackend,
+    DomainComplement,
+    DomainScan,
+    ExecutionContext,
+    GroupCount,
+    HashJoin,
+    NaiveBackend,
+    PlanError,
+    Project,
+    Scan,
+    active_backend,
+    backend_from_name,
+    compile_sentence,
+    compile_extension,
+    set_backend,
+    using_backend,
+)
+from repro.logic import parse
+from repro.logic.syntax import Atom, CountingExists, Exists, Not
+
+
+def scan_xy():
+    return Scan("E", [("var", "x"), ("var", "y")])
+
+
+class TestPlanOperators:
+    def test_scan_binds_variables_and_constants(self):
+        db = Database.graph([(0, 1), (1, 2), (0, 0)])
+        ctx = ExecutionContext(db)
+        assert scan_xy().rows(ctx) == {(0, 1), (1, 2), (0, 0)}
+        const_scan = Scan("E", [("const", 0), ("var", "y")])
+        assert const_scan.rows(ctx) == {(1,), (0,)}
+        loop_scan = Scan("E", [("var", "x"), ("var", "x")])
+        assert loop_scan.rows(ctx) == {(0,)}
+        assert loop_scan.columns == ("x",)
+
+    def test_scan_restricts_to_domain(self):
+        db = Database.graph([(0, 1), (5, 6)])
+        ctx = ExecutionContext(db, domain=[0, 1])
+        assert scan_xy().rows(ctx) == {(0, 1)}
+
+    def test_hash_join_on_shared_column(self):
+        db = Database.graph([(0, 1), (1, 2), (2, 0)])
+        ctx = ExecutionContext(db)
+        left = scan_xy()
+        right = Scan("E", [("var", "y"), ("var", "z")])
+        joined = HashJoin(left, right)
+        assert joined.columns == ("x", "y", "z")
+        assert joined.rows(ctx) == {(0, 1, 2), (1, 2, 0), (2, 0, 1)}
+
+    def test_join_degenerates_to_semijoin(self):
+        db = Database.graph([(0, 1), (1, 2)])
+        ctx = ExecutionContext(db)
+        left = scan_xy()
+        right = Scan("E", [("var", "y"), ("const", 2)])
+        joined = HashJoin(left, right)
+        assert joined.columns == ("x", "y")  # right adds no columns
+        assert joined.rows(ctx) == {(0, 1)}
+
+    def test_antijoin(self):
+        db = Database.graph([(0, 1), (1, 2), (2, 0)])
+        ctx = ExecutionContext(db)
+        loops_back = Scan("E", [("var", "y"), ("var", "x")])
+        anti = Antijoin(scan_xy(), loops_back)
+        # edges (x, y) with no reverse edge: all three (the cycle has none)
+        assert anti.rows(ctx) == {(0, 1), (1, 2), (2, 0)}
+        db2 = Database.graph([(0, 1), (1, 0), (1, 2)])
+        assert anti.rows(ExecutionContext(db2)) == {(1, 2)}
+
+    def test_domain_complement(self):
+        db = Database.graph([(0, 1)])
+        ctx = ExecutionContext(db)
+        complement = DomainComplement(scan_xy())
+        assert complement.rows(ctx) == {(0, 0), (1, 0), (1, 1)}
+
+    def test_group_count(self):
+        db = Database.graph([(0, 1), (0, 2), (1, 2)])
+        ctx = ExecutionContext(db)
+        counted = GroupCount(scan_xy(), ("x",), 2)
+        assert counted.rows(ctx) == {(0,)}
+        assert GroupCount(scan_xy(), ("x",), 3).rows(ctx) == set()
+
+    def test_project_unknown_column_rejected(self):
+        with pytest.raises(PlanError):
+            Project(scan_xy(), ("nope",))
+
+    def test_explain_renders_tree(self):
+        plan = compile_sentence(parse("forall x . ~E(x, x)"))
+        rendered = plan.explain()
+        assert "Scan E" in rendered
+        assert "Complement" in rendered
+
+
+class TestCompiledShapes:
+    """The compiler should produce the efficient operator, not just a correct one."""
+
+    def labels(self, plan):
+        result = [plan.label()]
+        for child in plan.children():
+            result.extend(self.labels(child))
+        return result
+
+    def test_negated_conjunct_becomes_antijoin(self):
+        formula = Exists("x", Exists("y", ~Atom("E", "y", "x") & Atom("E", "x", "y")))
+        labels = " | ".join(self.labels(compile_sentence(formula)))
+        assert "Antijoin" in labels
+        assert "Complement^2" not in labels
+
+    def test_interpreted_atom_pushed_down_as_selection(self):
+        formula = parse("forall x y . E(x, y) -> leq(x, y)", predicates=["leq"])
+        labels = " | ".join(self.labels(compile_sentence(formula)))
+        assert "Select" in labels
+
+    def test_counting_compiles_to_group_count(self):
+        formula = CountingExists("y", 2, Atom("E", "x", "y"))
+        labels = self.labels(compile_extension(formula, ("x",)))
+        assert any("GroupCount" in l for l in labels)
+
+    def test_plans_are_database_independent(self):
+        backend = CompiledBackend()
+        formula = parse("forall x . ~E(x, x)")
+        for db in (chain(3), cycle(4), Database.graph([])):
+            backend.evaluate(formula, db)
+        assert backend.cache_stats()["plans"] == 1  # compiled exactly once
+
+    def test_memo_hits_for_repeated_checks(self):
+        backend = CompiledBackend()
+        formula = parse("forall x . ~E(x, x)")
+        db = chain(4)
+        assert backend.evaluate(formula, db)
+        stats_before = backend.cache_stats()["memo"]
+        assert backend.evaluate(formula, db)
+        assert backend.cache_stats()["memo"] == stats_before
+
+
+class TestDatabaseIndexes:
+    def test_index_groups_rows_by_key(self):
+        db = Database.graph([(0, 1), (0, 2), (1, 2)])
+        by_source = db.index("E", 0)
+        assert by_source[(0,)] == {(0, 1), (0, 2)}
+        assert by_source[(1,)] == {(1, 2)}
+
+    def test_index_accepts_column_tuples(self):
+        db = Database.graph([(0, 1), (0, 2)])
+        assert db.index("E", (0, 1))[(0, 2)] == {(0, 2)}
+
+    def test_index_is_cached(self):
+        db = Database.graph([(0, 1)])
+        assert db.index("E", 0) is db.index("E", 0)
+
+    def test_index_rejects_bad_columns(self):
+        db = Database.graph([(0, 1)])
+        with pytest.raises(DatabaseError):
+            db.index("E", 5)
+        with pytest.raises(DatabaseError):
+            db.index("nope", 0)
+
+    def test_neighbourhood_accessors_match_definition(self):
+        db = Database.graph([(0, 1), (0, 2), (2, 0)])
+        assert db.successors(0) == {1, 2}
+        assert db.predecessors(0) == {2}
+        assert db.out_degree(0) == 2
+        assert db.in_degree(1) == 1
+        assert db.successors(99) == frozenset()
+
+    def test_index_is_read_only(self):
+        db = Database.graph([(0, 1)])
+        with pytest.raises(TypeError):
+            db.index("E", 0)[(9,)] = frozenset()
+
+    def test_delete_where_with_excess_variables_binds_like_zip(self):
+        """Variables beyond the relation arity never bind (old zip semantics)."""
+        from repro.logic import parse
+        from repro.transactions import DeleteWhere, FOProgram
+
+        db = Database.graph([(1, 2), (2, 3)])
+        program = FOProgram([DeleteWhere("E", ("a", "b", "c"), parse("E(a, b)"))])
+        assert program.apply(db) == Database.graph([])
+
+    def test_canonical_key_cached_and_stable(self):
+        db = Database.graph([(0, 1)])
+        assert db.canonical_key() is db.canonical_key()
+        assert db.canonical_key() == Database.graph([(0, 1)]).canonical_key()
+
+
+class TestBackendSelection:
+    def test_registry_names(self):
+        assert isinstance(backend_from_name("naive"), NaiveBackend)
+        assert isinstance(backend_from_name("compiled"), CompiledBackend)
+        with pytest.raises(ValueError):
+            backend_from_name("quantum")
+
+    def test_using_backend_restores_previous(self):
+        previous = active_backend()
+        with using_backend("naive") as backend:
+            assert isinstance(backend, NaiveBackend)
+            assert active_backend() is backend
+        assert active_backend() is previous
+
+    def test_set_backend_rejects_junk(self):
+        with pytest.raises(TypeError):
+            set_backend(42)
+
+    def test_one_shot_iterable_domain(self):
+        """A generator domain must not be silently exhausted mid-call."""
+        from repro.logic.syntax import Exists, Forall, Atom, Not
+
+        db = Database.graph([(0, 1), (1, 2)])
+        formula = Forall("x", Exists("y", Atom("E", "x", "y")))
+        expected = NaiveBackend().evaluate(formula, db, domain=frozenset(db.active_domain))
+        got = CompiledBackend().evaluate(formula, db, domain=iter(db.active_domain))
+        assert got == expected is False
+
+    def test_wrong_arity_constant_atom_matches_nothing(self):
+        from repro.logic.terms import Const, Var
+
+        db = Database.graph([(0, 1)])
+        formula = Atom("E", Var("x"), Var("y"), Const(0))  # arity-3 atom, arity-2 schema
+        naive = NaiveBackend().extension(formula, db, ["x", "y"])
+        compiled = CompiledBackend().extension(formula, db, ["x", "y"])
+        assert compiled == naive == set()
+
+    def test_module_level_evaluate_dispatches(self):
+        from repro.logic import evaluate
+
+        db = cycle(3)
+        formula = parse("forall x . exists y . E(x, y)")
+        with using_backend("naive"):
+            naive_answer = evaluate(formula, db)
+        with using_backend("compiled"):
+            compiled_answer = evaluate(formula, db)
+        assert naive_answer == compiled_answer is True
