@@ -43,7 +43,11 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13")
+QUICK = ("e09", "e12", "e13", "e15")
+# per-experiment extra backends beyond the requested ones: the update-stream
+# experiment A/Bs the compiled engine with delta evaluation off, so the
+# trajectory records the incremental win (``delta_speedup``) explicitly
+EXTRA_BACKENDS = {"e15": ("compiled-nodelta",)}
 
 
 def discover() -> dict:
@@ -71,6 +75,9 @@ def run_one(path: str, backend: str, timeout: int) -> dict:
     """One pytest pass over one benchmark file under one backend."""
     env = dict(os.environ)
     env["REPRO_BACKEND"] = backend
+    # an inherited REPRO_DELTA would silently corrupt the delta A/B: the
+    # backend name alone must decide whether incremental evaluation is on
+    env.pop("REPRO_DELTA", None)
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
@@ -113,6 +120,10 @@ def main(argv=None) -> int:
         help=f"only the engine-bound experiments {', '.join(QUICK)}",
     )
     parser.add_argument(
+        "--no-extra-backends", action="store_true",
+        help="skip the per-experiment extra backends (e.g. compiled-nodelta for e15)",
+    )
+    parser.add_argument(
         "--timeout", type=int, default=900, help="per-run timeout in seconds"
     )
     parser.add_argument(
@@ -138,19 +149,27 @@ def main(argv=None) -> int:
     all_ok = True
     for experiment in wanted:
         row: dict = {}
-        for backend in backends:
+        exp_backends = list(backends)
+        if not args.no_extra_backends:
+            for extra in EXTRA_BACKENDS.get(experiment, ()):
+                if extra not in exp_backends:
+                    exp_backends.append(extra)
+        for backend in exp_backends:
             outcome = run_one(experiments[experiment], backend, args.timeout)
             row[backend] = outcome["seconds"]
             row.setdefault("ok", True)
             row["ok"] = row["ok"] and outcome["ok"]
             all_ok = all_ok and outcome["ok"]
             print(
-                f"{experiment:<5} {backend:<9} {outcome['seconds']:>8.2f}s  "
+                f"{experiment:<5} {backend:<16} {outcome['seconds']:>8.2f}s  "
                 f"{'ok' if outcome['ok'] else 'FAIL: ' + outcome['summary']}"
             )
         if "naive" in row and "compiled" in row and row["compiled"] > 0:
             row["speedup"] = round(row["naive"] / row["compiled"], 2)
             print(f"{experiment:<5} speedup  {row['speedup']:>7.2f}x")
+        if "compiled-nodelta" in row and "compiled" in row and row["compiled"] > 0:
+            row["delta_speedup"] = round(row["compiled-nodelta"] / row["compiled"], 2)
+            print(f"{experiment:<5} delta-speedup  {row['delta_speedup']:>7.2f}x")
         results[experiment] = row
 
     payload = {

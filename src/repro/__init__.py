@@ -11,7 +11,9 @@ Sub-packages
 ------------
 ``repro.db``
     Relational schemas, finite databases, graph families, relational algebra,
-    graph enumerations, and a transactional storage engine.
+    graph enumerations, a transactional storage engine, and the delta
+    subsystem (``Delta`` / ``Database.apply_delta``) that makes functional
+    updates O(|delta|).
 ``repro.logic``
     Specification languages: FO, FOc, FOc(Omega), FO with counting, monadic
     Sigma-1-1; parsing, evaluation, normal forms, rewriting.
@@ -29,7 +31,8 @@ Sub-packages
 ``repro.engine``
     The set-at-a-time query engine: FO formulas compiled to relational-
     algebra plans executed against indexed databases, behind a switchable
-    backend protocol (``REPRO_BACKEND=naive|compiled``).
+    backend protocol (``REPRO_BACKEND=naive|compiled``), with incremental
+    delta re-evaluation along update streams (``REPRO_DELTA=on|off|verify``).
 
 Quickstart
 ----------

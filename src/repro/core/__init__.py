@@ -9,7 +9,9 @@ from .wpc import (
     WpcCalculator,
     WpcError,
     check_wpc,
+    check_wpc_stream,
     find_wpc_counterexample,
+    find_wpc_counterexample_stream,
     weakest_precondition,
 )
 from .chain_transaction import (
@@ -62,7 +64,9 @@ __all__ = [
     "WpcCalculator",
     "WpcError",
     "check_wpc",
+    "check_wpc_stream",
     "find_wpc_counterexample",
+    "find_wpc_counterexample_stream",
     "weakest_precondition",
     "ChainTransaction",
     "ChainWpcCalculator",

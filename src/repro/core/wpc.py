@@ -72,6 +72,8 @@ __all__ = [
     "SemanticPrecondition",
     "check_wpc",
     "find_wpc_counterexample",
+    "check_wpc_stream",
+    "find_wpc_counterexample_stream",
 ]
 
 
@@ -365,6 +367,54 @@ def find_wpc_counterexample(
     from .verification import holds
 
     for db in databases:
+        before = holds(precondition, db, signature, backend)
+        after = holds(constraint, transaction.apply(db), signature, backend)
+        if before != after:
+            return db
+    return None
+
+
+def check_wpc_stream(
+    transaction: Transaction,
+    constraint,
+    precondition,
+    initial: Database,
+    deltas: Iterable,
+    signature: Signature = EMPTY_SIGNATURE,
+    backend=None,
+) -> bool:
+    """Is the precondition correct along a whole *update stream*?
+
+    ``deltas`` is an iterable of :class:`~repro.db.delta.Delta` objects;
+    each is applied to the running database and the ``wpc`` contract
+    (``D |= precondition`` iff ``T(D) |= constraint``) is re-checked on the
+    new state.  Because the states chain through ``apply_delta``, the query
+    engine re-evaluates both formulas incrementally — this is the delta-aware
+    form of the validation sweep, with per-update cost proportional to the
+    delta.
+    """
+    return find_wpc_counterexample_stream(
+        transaction, constraint, precondition, initial, deltas, signature, backend
+    ) is None
+
+
+def find_wpc_counterexample_stream(
+    transaction: Transaction,
+    constraint,
+    precondition,
+    initial: Database,
+    deltas: Iterable,
+    signature: Signature = EMPTY_SIGNATURE,
+    backend=None,
+) -> Optional[Database]:
+    """First state of the delta stream where the wpc contract fails, if any."""
+    from .verification import holds
+
+    db = initial
+    pending: Iterable = itertools.chain([None], deltas)
+    for delta in pending:
+        if delta is not None:
+            db = db.apply_delta(delta)
         before = holds(precondition, db, signature, backend)
         after = holds(constraint, transaction.apply(db), signature, backend)
         if before != after:

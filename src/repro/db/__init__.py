@@ -8,6 +8,7 @@ interpretations, with the single-binary-predicate graph schema as the default.
 
 from .schema import GRAPH_SCHEMA, RelationSchema, Schema, SchemaError
 from .database import Database, DatabaseError
+from .delta import Delta, DeltaError
 from . import algebra
 from .enumeration import (
     GraphEnumeration,
@@ -50,6 +51,8 @@ __all__ = [
     "SchemaError",
     "Database",
     "DatabaseError",
+    "Delta",
+    "DeltaError",
     "algebra",
     "GraphEnumeration",
     "IsomorphismFreeEnumeration",

@@ -16,6 +16,7 @@ the roll-back baseline in the integrity-maintenance benchmark.
 from __future__ import annotations
 
 import itertools
+import weakref
 from types import MappingProxyType
 from typing import (
     Dict,
@@ -35,6 +36,8 @@ __all__ = ["Database", "DatabaseError"]
 
 Tuple_ = Tuple[object, ...]
 
+_EMPTY_ROWS: FrozenSet[Tuple_] = frozenset()
+
 
 class DatabaseError(ValueError):
     """Raised for malformed database contents or schema mismatches."""
@@ -53,11 +56,20 @@ class Database:
     """
 
     # __weakref__ lets the query engine key its result memo weakly on the
-    # database, so memoised extensions die with the database they describe
+    # database, so memoised extensions die with the database they describe.
+    # (The compiled backend additionally pins a small bounded LRU of recent
+    # databases strongly — the node-level states incremental delta evaluation
+    # resumes from; see CompiledBackend._states.)
     __slots__ = (
-        "_schema", "_relations", "_domain", "_hash", "_canonical_key", "_indexes",
-        "__weakref__",
+        "_schema", "_relations", "_domain", "_domain_counts", "_hash",
+        "_hash_accs", "_canonical_key", "_sorted_rows", "_indexes",
+        "_delta_base", "_delta_skip", "__weakref__",
     )
+
+    #: skip links stop composing once the accumulated delta reaches this many
+    #: rows — beyond that, re-anchoring at a closer ancestor is cheaper than
+    #: dragging an ever-growing composed delta along the stream
+    _SKIP_DELTA_CAP = 512
 
     def __init__(
         self,
@@ -78,13 +90,21 @@ class Database:
             rows = relations.get(rel_schema.name, ())
             validated = frozenset(rel_schema.validate_tuple(row) for row in rows)
             rels[rel_schema.name] = validated
-        self._relations = rels
+        self._init_caches(rels)
+
+    def _init_caches(self, relations: Dict[str, FrozenSet[Tuple_]]) -> None:
+        self._relations = relations
         # lazily computed caches — databases are immutable, so none of these
         # ever needs invalidation
         self._domain: Optional[FrozenSet[object]] = None
+        self._domain_counts: Optional[Dict[object, int]] = None
         self._hash: Optional[int] = None
+        self._hash_accs: Optional[Dict[str, int]] = None
         self._canonical_key: Optional[Tuple] = None
+        self._sorted_rows: Dict[str, Tuple[Tuple_, ...]] = {}
         self._indexes: Dict[Tuple[str, Tuple[int, ...]], Mapping[Tuple_, FrozenSet[Tuple_]]] = {}
+        self._delta_base: Optional[Tuple["weakref.ref[Database]", "Delta"]] = None
+        self._delta_skip: Optional[Tuple["weakref.ref[Database]", "Delta"]] = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -98,6 +118,21 @@ class Database:
         """Build a graph database (single binary predicate ``E``) from edges."""
         return cls(GRAPH_SCHEMA, {"E": [tuple(e) for e in edges]})
 
+    @classmethod
+    def _from_validated(
+        cls, schema: Schema, relations: Dict[str, FrozenSet[Tuple_]]
+    ) -> "Database":
+        """Trusted constructor: ``relations`` is complete and already validated.
+
+        This is the internal fast path every functional update goes through —
+        unchanged relations are *shared* (the same frozenset objects) with the
+        parent database and no row is re-validated.
+        """
+        db = cls.__new__(cls)
+        db._schema = schema
+        db._init_caches(relations)
+        return db
+
     # -- basic accessors ---------------------------------------------------------
 
     @property
@@ -108,12 +143,60 @@ class Database:
     def active_domain(self) -> FrozenSet[object]:
         """``dom(D)``: all values occurring in some tuple of the database (cached)."""
         if self._domain is None:
-            domain: Set[object] = set()
+            self._domain = frozenset(self.occurrence_counts())
+        return self._domain
+
+    def occurrence_counts(self) -> Mapping[object, int]:
+        """How many tuple positions each active-domain value occupies (cached).
+
+        The counts are what make the active domain *incrementally*
+        maintainable: :meth:`apply_delta` patches them in O(|delta|), and a
+        value leaves the domain exactly when its count reaches zero.  The
+        returned view is read-only: the underlying dict is shared state
+        patched forward through every successor database.
+        """
+        if self._domain_counts is None:
+            counts: Dict[object, int] = {}
             for rows in self._relations.values():
                 for row in rows:
-                    domain.update(row)
-            self._domain = frozenset(domain)
-        return self._domain
+                    for value in row:
+                        counts[value] = counts.get(value, 0) + 1
+            self._domain_counts = counts
+        return MappingProxyType(self._domain_counts)
+
+    def delta_base(self) -> Optional[Tuple["Database", "Delta"]]:
+        """The ``(parent, delta)`` provenance of an :meth:`apply_delta` result.
+
+        The parent is held weakly (an update stream must not retain its whole
+        history), so this returns ``None`` once the parent is gone — callers
+        (the incremental query engine, :meth:`Delta.between`) then fall back
+        to full evaluation.
+        """
+        if self._delta_base is None:
+            return None
+        parent = self._delta_base[0]()
+        if parent is None:
+            return None
+        return parent, self._delta_base[1]
+
+    def provenance_step(self) -> Optional[Tuple["Database", "Delta"]]:
+        """One live step up the update ancestry: the parent, or the skip link.
+
+        The direct parent of an update chain is often transient (the
+        intermediate states of a multi-statement transaction die as soon as
+        the final state exists), so every ``apply_delta`` result also carries
+        a *skip link*: a composed delta to the nearest longer-lived ancestor.
+        Walkers prefer the parent (more ancestors to find cached state on)
+        and fall back to the skip link when the parent is gone.
+        """
+        link = self.delta_base()
+        if link is not None:
+            return link
+        if self._delta_skip is not None:
+            anchor = self._delta_skip[0]()
+            if anchor is not None:
+                return anchor, self._delta_skip[1]
+        return None
 
     def relation(self, name: str) -> FrozenSet[Tuple_]:
         """The set of tuples currently in relation ``name``."""
@@ -201,69 +284,181 @@ class Database:
 
     # -- functional updates --------------------------------------------------------
 
+    def apply_delta(self, delta: "Delta") -> "Database":
+        """Apply a :class:`~repro.db.delta.Delta`, sharing everything untouched.
+
+        This is the trusted update fast path: cost is O(|delta|) plus cache
+        patching — untouched relations are shared without re-validation, the
+        active-domain occurrence counts and the parent's hash indexes are
+        cloned and patched instead of rebuilt, and the per-relation canonical
+        orderings of untouched relations carry over.  The result records its
+        ``(parent, delta)`` provenance (weakly), which is what the incremental
+        query engine and the transactional store's replay path consume.
+
+        An ineffective delta returns ``self`` unchanged.
+        """
+        delta = delta.normalized(self)
+        if delta.is_empty():
+            return self
+        touched = delta.touched()
+        relations = dict(self._relations)
+        for name in touched:
+            inserted = delta.inserted.get(name, _EMPTY_ROWS)
+            deleted = delta.deleted.get(name, _EMPTY_ROWS)
+            # normalized: deleted is a subset of the old rows, inserted is disjoint
+            relations[name] = (relations[name] - deleted) | inserted
+        child = Database._from_validated(self._schema, relations)
+        # hash indexes: share the untouched ones, clone-and-patch the rest
+        for (name, columns), index in self._indexes.items():
+            if name not in touched:
+                child._indexes[(name, columns)] = index
+            else:
+                child._indexes[(name, columns)] = _patch_index(
+                    index,
+                    columns,
+                    delta.inserted.get(name, _EMPTY_ROWS),
+                    delta.deleted.get(name, _EMPTY_ROWS),
+                )
+        # canonical per-relation orderings of untouched relations stay valid
+        for name, ordered in self._sorted_rows.items():
+            if name not in touched:
+                child._sorted_rows[name] = ordered
+        # content hash: XOR accumulators patch in O(delta)
+        if self._hash_accs is not None:
+            accs = dict(self._hash_accs)
+            for name in touched:
+                acc = accs[name]
+                for row in delta.inserted.get(name, _EMPTY_ROWS):
+                    acc ^= hash(row)
+                for row in delta.deleted.get(name, _EMPTY_ROWS):
+                    acc ^= hash(row)
+                accs[name] = acc
+            child._hash_accs = accs
+        # active domain: patch the occurrence counts when the parent has them
+        if self._domain_counts is not None:
+            counts = dict(self._domain_counts)
+            added: list = []
+            removed: list = []
+            for value, change in delta.occurrence_delta().items():
+                before = counts.get(value, 0)
+                after = before + change
+                if after <= 0:
+                    counts.pop(value, None)
+                    if before > 0:
+                        removed.append(value)
+                else:
+                    counts[value] = after
+                    if before == 0:
+                        added.append(value)
+            child._domain_counts = counts
+            if self._domain is not None:
+                if not added and not removed:
+                    child._domain = self._domain
+                else:
+                    child._domain = (self._domain | frozenset(added)) - frozenset(removed)
+        child._delta_base = (weakref.ref(self), delta)
+        # skip link: extend the parent's anchor while the composed delta stays
+        # small, otherwise re-anchor at the parent itself
+        skip = None
+        if self._delta_skip is not None:
+            anchor_ref, to_parent = self._delta_skip
+            if anchor_ref() is not None:
+                composed = to_parent.then(delta)
+                if len(composed) <= Database._SKIP_DELTA_CAP:
+                    skip = (anchor_ref, composed)
+        if skip is None and self._delta_base is not None:
+            parent_ref, to_self = self._delta_base
+            if parent_ref() is not None:
+                skip = (parent_ref, to_self.then(delta))
+        child._delta_skip = skip
+        return child
+
     def with_relation(
         self, name: str, rows: Iterable[Sequence[object]]
     ) -> "Database":
-        """Return a copy of the database with relation ``name`` replaced by ``rows``."""
-        self._schema[name]  # validates existence
-        new_rels: Dict[str, Iterable[Sequence[object]]] = dict(self._relations)
-        new_rels[name] = list(rows)
-        return Database(self._schema, new_rels)
+        """Return a copy of the database with relation ``name`` replaced by ``rows``.
+
+        Only the replacement rows are validated; every other relation is
+        shared with this database as-is (no O(database) re-validation).
+        """
+        rel_schema = self._schema[name]
+        wanted = frozenset(rel_schema.validate_tuple(row) for row in rows)
+        current = self._relations[name]
+        return self.apply_delta(
+            Delta(inserted={name: wanted - current}, deleted={name: current - wanted})
+        )
 
     def insert(self, name: str, *rows: Sequence[object]) -> "Database":
         """Return a copy with ``rows`` inserted into relation ``name``."""
-        rel_schema = self._schema[name]
-        added = {rel_schema.validate_tuple(row) for row in rows}
-        return self.with_relation(name, self._relations[name] | added)
+        self._schema[name]  # SchemaError for unknown relations
+        return self.apply_delta(Delta(inserted={name: rows}))
 
     def delete(self, name: str, *rows: Sequence[object]) -> "Database":
         """Return a copy with ``rows`` removed from relation ``name``."""
-        rel_schema = self._schema[name]
-        removed = {rel_schema.validate_tuple(row) for row in rows}
-        return self.with_relation(name, self._relations[name] - removed)
+        self._schema[name]  # SchemaError for unknown relations
+        return self.apply_delta(Delta(deleted={name: rows}))
 
     def map_domain(self, mapping: Mapping[object, object]) -> "Database":
         """Apply a renaming of domain elements to every tuple.
 
         Elements not mentioned in ``mapping`` are left unchanged.  This is the
         action of a (partial) permutation of the universe on the database and
-        is used to test *genericity* of transactions.
+        is used to test *genericity* of transactions; a mapping that is not
+        injective on the active domain (two domain elements mapped to the same
+        value, or a mapped value colliding with an unmapped element) would
+        silently merge tuples instead of permuting them, so it is rejected.
         """
+        preimages: Dict[object, object] = {}
+        for value in self.active_domain:
+            image = mapping.get(value, value)
+            previous = preimages.setdefault(image, value)
+            if previous != value:
+                raise DatabaseError(
+                    f"map_domain mapping is not injective on the active domain: "
+                    f"{previous!r} and {value!r} both map to {image!r}"
+                )
+
         def rename(value: object) -> object:
             return mapping.get(value, value)
 
         new_rels = {
-            name: [tuple(rename(v) for v in row) for row in rows]
+            name: frozenset(tuple(rename(v) for v in row) for row in rows)
             for name, rows in self._relations.items()
         }
-        return Database(self._schema, new_rels)
+        return Database._from_validated(self._schema, new_rels)
 
     def restrict_domain(self, keep: Iterable[object]) -> "Database":
         """Keep only tuples all of whose components lie in ``keep``."""
         keep_set = set(keep)
         new_rels = {
-            name: [row for row in rows if all(v in keep_set for v in row)]
+            name: frozenset(row for row in rows if all(v in keep_set for v in row))
             for name, rows in self._relations.items()
         }
-        return Database(self._schema, new_rels)
+        return Database._from_validated(self._schema, new_rels)
 
     def union(self, other: "Database") -> "Database":
         """Relation-wise union of two databases over the same schema."""
         self._check_same_schema(other)
-        new_rels = {
-            name: self._relations[name] | other._relations[name]
-            for name in self._schema.relation_names
-        }
-        return Database(self._schema, new_rels)
+        return self.apply_delta(
+            Delta(
+                inserted={
+                    name: other._relations[name] - self._relations[name]
+                    for name in self._schema.relation_names
+                }
+            )
+        )
 
     def difference(self, other: "Database") -> "Database":
         """Relation-wise difference of two databases over the same schema."""
         self._check_same_schema(other)
-        new_rels = {
-            name: self._relations[name] - other._relations[name]
-            for name in self._schema.relation_names
-        }
-        return Database(self._schema, new_rels)
+        return self.apply_delta(
+            Delta(
+                deleted={
+                    name: self._relations[name] & other._relations[name]
+                    for name in self._schema.relation_names
+                }
+            )
+        )
 
     def _check_same_schema(self, other: "Database") -> None:
         if not isinstance(other, Database):
@@ -273,6 +468,20 @@ class Database:
 
     # -- isomorphism-invariant encodings ------------------------------------------
 
+    def _sorted_relation(self, name: str) -> Tuple[Tuple_, ...]:
+        """Relation ``name`` in canonical (repr) order — cached per relation.
+
+        Caching per relation (rather than one monolithic key) lets
+        :meth:`apply_delta` carry the orderings of untouched relations over to
+        the successor database, so a single-tuple update never re-sorts the
+        rest of the database.
+        """
+        cached = self._sorted_rows.get(name)
+        if cached is None:
+            cached = tuple(sorted(self._relations[name], key=repr))
+            self._sorted_rows[name] = cached
+        return cached
+
     def canonical_key(self) -> Tuple:
         """A hashable key identifying the database *up to equality* (not isomorphism).
 
@@ -281,7 +490,7 @@ class Database:
         """
         if self._canonical_key is None:
             self._canonical_key = tuple(
-                (name, tuple(sorted(self._relations[name], key=repr)))
+                (name, self._sorted_relation(name))
                 for name in self._schema.relation_names
             )
         return self._canonical_key
@@ -314,15 +523,38 @@ class Database:
             return NotImplemented
         return self._schema == other._schema and self._relations == other._relations
 
+    def _hash_accumulators(self) -> Dict[str, int]:
+        """Per-relation XOR of row hashes — an order-free content digest.
+
+        Rows are sets, so XOR-ing the (unique) row hashes is well defined and,
+        crucially, *patchable*: :meth:`apply_delta` derives the successor's
+        accumulators in O(|delta|), which keeps content hashing off the
+        per-update critical path (the engine's result memo hashes every
+        database it sees).
+        """
+        if self._hash_accs is None:
+            accs: Dict[str, int] = {}
+            for name, rows in self._relations.items():
+                acc = 0
+                for row in rows:
+                    acc ^= hash(row)
+                accs[name] = acc
+            self._hash_accs = accs
+        return self._hash_accs
+
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash((self._schema, self.canonical_key()))
+            accs = self._hash_accumulators()
+            self._hash = hash(
+                (self._schema,)
+                + tuple(accs[name] for name in self._schema.relation_names)
+            )
         return self._hash
 
     def __iter__(self) -> Iterator[Tuple[str, Tuple_]]:
         """Iterate over ``(relation_name, tuple)`` facts."""
         for name in self._schema.relation_names:
-            for row in sorted(self._relations[name], key=repr):
+            for row in self._sorted_relation(name):
                 yield name, row
 
     def __len__(self) -> int:
@@ -331,6 +563,23 @@ class Database:
     def __repr__(self) -> str:
         parts = []
         for name in self._schema.relation_names:
-            rows = sorted(self._relations[name], key=repr)
-            parts.append(f"{name}={rows}")
+            parts.append(f"{name}={list(self._sorted_relation(name))}")
         return f"Database({', '.join(parts)})"
+
+
+def _patch_index(
+    index: Mapping[Tuple_, FrozenSet[Tuple_]],
+    columns: Tuple[int, ...],
+    inserted: FrozenSet[Tuple_],
+    deleted: FrozenSet[Tuple_],
+) -> Mapping[Tuple_, FrozenSet[Tuple_]]:
+    """Clone-and-patch a hash index for a relation delta (O(delta) buckets)."""
+    patched = patch_buckets(
+        index, lambda row: tuple(row[c] for c in columns), inserted, deleted
+    )
+    return MappingProxyType(patched)
+
+
+# late import: Delta only depends on duck-typed databases, Database needs the
+# class at update time — importing here keeps ``repro.db.delta`` import-light
+from .delta import Delta, patch_buckets  # noqa: E402

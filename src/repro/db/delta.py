@@ -1,0 +1,297 @@
+"""Deltas: first-class descriptions of database updates.
+
+The paper's central workload is a *stream* of transactions against a slowly
+changing database.  A :class:`Delta` is the value object describing one step
+of that stream — per relation, the set of tuples inserted and the set of
+tuples deleted — and is the currency of the whole update fast path:
+
+* :meth:`Database.apply_delta <repro.db.database.Database.apply_delta>`
+  consumes a delta and produces the successor database without re-validating
+  (or even re-hashing) any untouched row, patching the active-domain,
+  hash-index and canonical-ordering caches instead of discarding them;
+* the resulting database remembers ``(parent, delta)`` (weakly, so streams
+  retain nothing), which lets the query engine evaluate constraints
+  *incrementally* (:mod:`repro.engine.delta`) and lets the transactional
+  store replay a transaction's net effect in time proportional to the delta;
+* deltas compose (:meth:`then`), invert (:meth:`inverse`) and normalise
+  against a concrete database (:meth:`normalized`), so the same object
+  serves the write log, the maintenance policies and the benchmarks.
+
+A delta is immutable.  Tuples are stored exactly as
+:class:`~repro.db.database.Database` stores them (plain tuples); arity
+checking happens on :meth:`normalized`, i.e. when a delta first meets a
+schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Delta", "DeltaError", "patch_buckets"]
+
+Row = Tuple[object, ...]
+Rows = FrozenSet[Row]
+
+_EMPTY: Rows = frozenset()
+
+
+def patch_buckets(buckets, key_of, inserted, deleted) -> Dict[Row, Rows]:
+    """Clone-and-patch a ``key -> frozenset-of-rows`` index for a row delta.
+
+    The one algorithm behind both the database's hash-index maintenance and
+    the incremental engine's per-key join state: deleted rows leave their
+    bucket (an emptied bucket is dropped), inserted rows join theirs.  The
+    input is never mutated — predecessors keep their indexes valid.
+    """
+    patched: Dict[Row, Rows] = dict(buckets)
+    for row in deleted:
+        key = key_of(row)
+        bucket = patched.get(key)
+        if bucket is None:
+            continue
+        remaining = bucket - {row}
+        if remaining:
+            patched[key] = remaining
+        else:
+            del patched[key]
+    for row in inserted:
+        key = key_of(row)
+        bucket = patched.get(key)
+        patched[key] = frozenset({row}) if bucket is None else bucket | {row}
+    return patched
+
+
+class DeltaError(ValueError):
+    """Raised for contradictory or schema-incompatible deltas."""
+
+
+def _freeze(
+    mapping: Optional[Mapping[str, Iterable[Sequence[object]]]]
+) -> Dict[str, Rows]:
+    frozen: Dict[str, Rows] = {}
+    for name, rows in (mapping or {}).items():
+        rows = frozenset(tuple(row) for row in rows)
+        if rows:
+            frozen[name] = rows
+    return frozen
+
+
+class Delta:
+    """An immutable set of per-relation insertions and deletions.
+
+    Empty row sets are dropped on construction, so ``touched()`` names
+    exactly the relations the delta affects.  A row may not be both inserted
+    and deleted by the same delta — that is contradictory, not a no-op.
+    """
+
+    __slots__ = ("_inserted", "_deleted")
+
+    def __init__(
+        self,
+        inserted: Optional[Mapping[str, Iterable[Sequence[object]]]] = None,
+        deleted: Optional[Mapping[str, Iterable[Sequence[object]]]] = None,
+    ):
+        self._inserted = _freeze(inserted)
+        self._deleted = _freeze(deleted)
+        for name, rows in self._inserted.items():
+            clash = rows & self._deleted.get(name, _EMPTY)
+            if clash:
+                raise DeltaError(
+                    f"delta both inserts and deletes {sorted(clash, key=repr)[:3]} "
+                    f"in relation {name!r}"
+                )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def insertion(cls, relation: str, *rows: Sequence[object]) -> "Delta":
+        """A pure insertion of ``rows`` into ``relation``."""
+        return cls(inserted={relation: rows})
+
+    @classmethod
+    def deletion(cls, relation: str, *rows: Sequence[object]) -> "Delta":
+        """A pure deletion of ``rows`` from ``relation``."""
+        return cls(deleted={relation: rows})
+
+    @classmethod
+    def from_databases(cls, old: "Database", new: "Database") -> "Delta":
+        """The exact difference ``new - old`` (both over the same schema)."""
+        if old.schema != new.schema:
+            raise DeltaError("databases have different schemas")
+        inserted: Dict[str, Rows] = {}
+        deleted: Dict[str, Rows] = {}
+        for name in old.schema.relation_names:
+            before, after = old.relation(name), new.relation(name)
+            if before is after:
+                continue
+            inserted[name] = after - before
+            deleted[name] = before - after
+        return cls(inserted, deleted)
+
+    @classmethod
+    def between(
+        cls, base: "Database", target: "Database", max_depth: int = 64
+    ) -> Optional["Delta"]:
+        """The delta turning ``base`` into ``target`` via provenance, if known.
+
+        Walks ``target``'s ``apply_delta`` ancestry looking for ``base`` *by
+        identity* and composes the recorded per-step deltas — O(total delta),
+        never O(database).  Returns ``None`` when the chain does not reach
+        ``base`` (garbage-collected parent, unrelated database, or a
+        construction path that did not go through ``apply_delta``); callers
+        then fall back to :meth:`from_databases`.
+        """
+        if target is base:
+            return cls()
+        current = target
+        to_target: Optional["Delta"] = None
+        for _ in range(max_depth):
+            link = current.provenance_step()
+            if link is None:
+                return None
+            parent, step = link
+            to_target = step if to_target is None else step.then(to_target)
+            if parent is base:
+                return to_target
+            current = parent
+        return None
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def inserted(self) -> Mapping[str, Rows]:
+        return self._inserted
+
+    @property
+    def deleted(self) -> Mapping[str, Rows]:
+        return self._deleted
+
+    def touched(self) -> FrozenSet[str]:
+        """The names of relations this delta affects."""
+        return frozenset(self._inserted) | frozenset(self._deleted)
+
+    def is_empty(self) -> bool:
+        return not self._inserted and not self._deleted
+
+    def __len__(self) -> int:
+        """Total number of tuple insertions plus deletions."""
+        return sum(len(r) for r in self._inserted.values()) + sum(
+            len(r) for r in self._deleted.values()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return self._inserted == other._inserted and self._deleted == other._deleted
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self._inserted.items()),
+                frozenset(self._deleted.items()),
+            )
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self.touched()):
+            ins = len(self._inserted.get(name, _EMPTY))
+            dels = len(self._deleted.get(name, _EMPTY))
+            parts.append(f"{name}:+{ins}/-{dels}")
+        return f"Delta({', '.join(parts)})"
+
+    # -- algebra ----------------------------------------------------------------
+
+    def inverse(self) -> "Delta":
+        """The delta that undoes this one (valid for normalized deltas)."""
+        return Delta(inserted=self._deleted, deleted=self._inserted)
+
+    def then(self, later: "Delta") -> "Delta":
+        """Compose: the net effect of applying ``self`` and then ``later``.
+
+        Both deltas must be *effective* (normalized) relative to the states
+        they were applied to — the invariant every delta produced by
+        ``apply_delta`` or the store's write log satisfies.
+        """
+        inserted: Dict[str, Rows] = {}
+        deleted: Dict[str, Rows] = {}
+        for name in self.touched() | later.touched():
+            ins1 = self._inserted.get(name, _EMPTY)
+            del1 = self._deleted.get(name, _EMPTY)
+            ins2 = later._inserted.get(name, _EMPTY)
+            del2 = later._deleted.get(name, _EMPTY)
+            inserted[name] = (ins1 - del2) | (ins2 - del1)
+            deleted[name] = (del1 - ins2) | (del2 - ins1)
+        return Delta(inserted, deleted)
+
+    def normalized(self, db: "Database") -> "Delta":
+        """The effective part of this delta relative to ``db``.
+
+        Validates relation names and tuple arities against the schema, drops
+        insertions of rows already present and deletions of rows absent, and
+        returns a delta whose insertions are disjoint from ``db`` and whose
+        deletions are a subset of it (the invariant ``apply_delta`` and the
+        incremental engine rely on).  Cost is O(|delta|).
+        """
+        schema = db.schema
+        unknown = self.touched() - set(schema.relation_names)
+        if unknown:
+            raise DeltaError(f"relations {sorted(unknown)} are not part of the schema")
+        inserted: Dict[str, Rows] = {}
+        deleted: Dict[str, Rows] = {}
+        changed = False
+        for name, rows in self._inserted.items():
+            rel_schema = schema[name]
+            rows = frozenset(rel_schema.validate_tuple(row) for row in rows)
+            effective = rows - db.relation(name)
+            if effective != self._inserted[name]:
+                changed = True
+            if effective:
+                inserted[name] = effective
+        for name, rows in self._deleted.items():
+            rel_schema = schema[name]
+            rows = frozenset(rel_schema.validate_tuple(row) for row in rows)
+            effective = rows & db.relation(name)
+            if effective != self._deleted[name]:
+                changed = True
+            if effective:
+                deleted[name] = effective
+        if not changed:
+            return self
+        return Delta(inserted, deleted)
+
+    # -- domain bookkeeping ------------------------------------------------------
+
+    def occurrence_delta(self) -> Dict[object, int]:
+        """Net change in the number of occurrences of each domain value."""
+        occurrences: Dict[object, int] = {}
+        for rows in self._inserted.values():
+            for row in rows:
+                for value in row:
+                    occurrences[value] = occurrences.get(value, 0) + 1
+        for rows in self._deleted.values():
+            for row in rows:
+                for value in row:
+                    occurrences[value] = occurrences.get(value, 0) - 1
+        return occurrences
+
+    def domain_delta(
+        self, base: "Database"
+    ) -> Tuple[FrozenSet[object], FrozenSet[object]]:
+        """``(added, removed)`` active-domain values, relative to ``base``.
+
+        Only values occurring in the delta's rows are examined, so the cost is
+        O(|delta|) given ``base``'s (lazily built, then patched-forward)
+        occurrence counts.  The delta must be normalized relative to ``base``.
+        """
+        counts = base.occurrence_counts()
+        added = set()
+        removed = set()
+        for value, change in self.occurrence_delta().items():
+            before = counts.get(value, 0)
+            after = before + change
+            if before == 0 and after > 0:
+                added.add(value)
+            elif before > 0 and after <= 0:
+                removed.add(value)
+        return frozenset(added), frozenset(removed)

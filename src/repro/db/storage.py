@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .database import Database
+from .delta import Delta
 from .schema import Schema
 
 __all__ = [
@@ -83,6 +84,30 @@ class TransactionStats:
         self.wall_time = 0.0
 
 
+def _fold_ops(ops: Sequence[WriteOp]) -> Delta:
+    """Fold an in-order write log into its net :class:`Delta`.
+
+    The log only records *effective* writes, so an insert later deleted (or
+    vice versa) cancels exactly.
+    """
+    inserted: Dict[str, Set[Row]] = {}
+    deleted: Dict[str, Set[Row]] = {}
+    for op in ops:
+        if op.kind == "insert":
+            doomed = deleted.get(op.relation)
+            if doomed is not None and op.row in doomed:
+                doomed.discard(op.row)
+            else:
+                inserted.setdefault(op.relation, set()).add(op.row)
+        else:
+            added = inserted.get(op.relation)
+            if added is not None and op.row in added:
+                added.discard(op.row)
+            else:
+                deleted.setdefault(op.relation, set()).add(op.row)
+    return Delta(inserted, deleted)
+
+
 class Store:
     """An in-memory transactional store over a fixed schema.
 
@@ -96,11 +121,19 @@ class Store:
     def __init__(self, schema: Schema, initial: Optional[Database] = None):
         self._schema = schema
         self._data: Dict[str, Set[Row]] = {name: set() for name in schema.relation_names}
+        # the last materialised snapshot plus the writes applied since; the
+        # next snapshot() patches the old one with the accumulated delta, so
+        # repeated snapshots along a transaction stream cost O(delta) instead
+        # of O(database) — and form the provenance chain the incremental
+        # query engine consumes
+        self._snapshot: Optional[Database] = None
+        self._since_snapshot: List[WriteOp] = []
         if initial is not None:
             if initial.schema != schema:
                 raise StorageError("initial database has a different schema")
             for name in schema.relation_names:
                 self._data[name] = set(initial.relation(name))
+            self._snapshot = initial
         self._log: Optional[List[WriteOp]] = None
         self._checkers: List[Tuple[str, Callable[[Database], bool]]] = []
         self.stats = TransactionStats()
@@ -112,8 +145,25 @@ class Store:
         return self._schema
 
     def snapshot(self) -> Database:
-        """An immutable :class:`Database` copy of the current state."""
-        return Database(self._schema, {k: list(v) for k, v in self._data.items()})
+        """An immutable :class:`Database` view of the current state.
+
+        Snapshots are cached and *patched*: the first call materialises a
+        database, subsequent calls apply the writes logged since as a
+        :class:`Delta` (``apply_delta``), so a snapshot after a small
+        transaction costs O(delta), shares all untouched relations with its
+        predecessor, and carries the provenance link incremental constraint
+        evaluation keys on.
+        """
+        if self._snapshot is None:
+            self._snapshot = Database(
+                self._schema, {k: list(v) for k, v in self._data.items()}
+            )
+        elif self._since_snapshot:
+            self._snapshot = self._snapshot.apply_delta(
+                _fold_ops(self._since_snapshot)
+            )
+        self._since_snapshot.clear()
+        return self._snapshot
 
     def cardinality(self, relation: Optional[str] = None) -> int:
         if relation is not None:
@@ -162,7 +212,9 @@ class Store:
         if validated in self._data[relation]:
             return False
         self._data[relation].add(validated)
-        self._log.append(WriteOp("insert", relation, validated))
+        op = WriteOp("insert", relation, validated)
+        self._log.append(op)
+        self._since_snapshot.append(op)
         return True
 
     def delete(self, relation: str, row: Sequence[object]) -> bool:
@@ -172,18 +224,47 @@ class Store:
         if validated not in self._data[relation]:
             return False
         self._data[relation].remove(validated)
-        self._log.append(WriteOp("delete", relation, validated))
+        op = WriteOp("delete", relation, validated)
+        self._log.append(op)
+        self._since_snapshot.append(op)
         return True
+
+    def apply_delta(self, delta: Delta) -> int:
+        """Inside a transaction, apply ``delta``; returns the writes performed.
+
+        Every write goes through :meth:`insert`/:meth:`delete`, so the write
+        log (and therefore rollback) sees the delta tuple by tuple.
+        """
+        self._require_transaction()
+        changed = 0
+        for name, rows in delta.deleted.items():
+            for row in rows:
+                changed += self.delete(name, row)
+        for name, rows in delta.inserted.items():
+            for row in rows:
+                changed += self.insert(name, row)
+        return changed
 
     def apply_database(self, target: Database) -> None:
         """Inside a transaction, make the store equal to ``target``.
 
         Used to run paper-style transactions (functions on databases) against
-        the store while retaining the write log for rollback.
+        the store while retaining the write log for rollback.  When ``target``
+        descends from the store's current snapshot via ``apply_delta``
+        provenance (the shape every transaction built from functional updates
+        produces), the net delta is replayed directly — O(|delta|) instead of
+        an O(database) relation-by-relation diff.
         """
         self._require_transaction()
         if target.schema != self._schema:
             raise StorageError("target database has a different schema")
+        if self._snapshot is not None and not self._since_snapshot:
+            # store state == self._snapshot: a provenance chain from it gives
+            # the net update without reading a single unchanged row
+            delta = Delta.between(self._snapshot, target)
+            if delta is not None:
+                self.apply_delta(delta)
+                return
         for name in self._schema.relation_names:
             current = set(self._data[name])
             wanted = set(target.relation(name))
@@ -202,6 +283,7 @@ class Store:
                 self._data[inverse.relation].add(inverse.row)
             else:
                 self._data[inverse.relation].discard(inverse.row)
+            self._since_snapshot.append(inverse)
             undone += 1
         self.stats.rolled_back_writes += undone
         self.stats.aborted += 1

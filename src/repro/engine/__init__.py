@@ -37,7 +37,9 @@ from .plan import (
     UnionAll,
 )
 from .compile import CompileError, compile_extension, compile_sentence
+from .delta import DeltaFallback, PlanState, incremental_update
 from .backend import (
+    BACKEND_NAMES,
     Backend,
     CompiledBackend,
     NaiveBackend,
@@ -67,6 +69,10 @@ __all__ = [
     "CompileError",
     "compile_extension",
     "compile_sentence",
+    "DeltaFallback",
+    "PlanState",
+    "incremental_update",
+    "BACKEND_NAMES",
     "Backend",
     "CompiledBackend",
     "NaiveBackend",

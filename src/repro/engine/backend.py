@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -43,6 +44,7 @@ from ..db.database import Database, DatabaseError
 from ..logic.signature import EMPTY_SIGNATURE, Signature, SignatureError
 from ..logic.syntax import Formula
 from .compile import CompileError, compile_extension
+from .delta import DeltaFallback, PlanState, incremental_update
 from .plan import ExecutionContext, Plan
 
 __all__ = [
@@ -56,6 +58,29 @@ __all__ = [
 ]
 
 Row = Tuple[object, ...]
+
+# sentinel cached for formulas the compiler rejected (avoids re-compiling)
+_UNCOMPILABLE = object()
+# how far up a database's apply_delta ancestry to look for a usable state
+_MAX_PROVENANCE_CHAIN = 16
+
+
+def _delta_mode_from_env() -> str:
+    """The incremental-evaluation mode selected by ``REPRO_DELTA``."""
+    value = os.environ.get("REPRO_DELTA", "on").strip().lower()
+    if value in ("on", "1", "true", "yes", ""):
+        return "on"
+    if value in ("off", "0", "false", "no"):
+        return "off"
+    if value == "verify":
+        return "verify"
+    warnings.warn(
+        f"ignoring invalid REPRO_DELTA={value!r}; expected 'on', 'off' or "
+        "'verify' — using 'on'",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return "on"
 
 
 class Backend:
@@ -137,7 +162,8 @@ class _LRU:
             self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
 
 class CompiledBackend(Backend):
@@ -157,14 +183,31 @@ class CompiledBackend(Backend):
       integrity-maintenance hot path) collapse into one plan execution plus
       set membership.  ``memo_size`` bounds the entries *per database*.
 
+    A third mechanism makes the *update* hot path cheap: when a database was
+    produced by :meth:`repro.db.database.Database.apply_delta` (every
+    functional update and store snapshot is), the backend looks up the parent
+    state's per-node plan results and re-derives the new extension through the
+    incremental delta rules of :mod:`repro.engine.delta` — work proportional
+    to the delta, not the database.  ``REPRO_DELTA=on|off|verify`` (or the
+    ``delta`` constructor argument) controls this: ``verify`` shadows every
+    incremental result with a full execution and asserts they agree.
+
     When compilation fails (a formula type the compiler does not know) the
-    backend transparently falls back to the naive interpreter, so it is always
-    safe to keep as the process-wide default.
+    backend transparently falls back to the naive interpreter — and memoises
+    the interpreter's result exactly like a compiled one, so repeated checks
+    of an uncompilable constraint against the same database do not re-run the
+    interpreter.
     """
 
     name = "compiled"
 
-    def __init__(self, plan_cache_size: int = 2048, memo_size: int = 512):
+    def __init__(
+        self,
+        plan_cache_size: int = 2048,
+        memo_size: int = 512,
+        delta: Optional[str] = None,
+        state_history: int = 8,
+    ):
         self._plans: _LRU = _LRU(plan_cache_size)
         self._memo_size = memo_size
         self._memo: "weakref.WeakKeyDictionary[Database, _LRU]" = (
@@ -172,17 +215,44 @@ class CompiledBackend(Backend):
         )
         self._naive = NaiveBackend()
         self.fallbacks = 0
+        if delta is None:
+            delta = _delta_mode_from_env()
+        if delta not in ("on", "off", "verify"):
+            raise ValueError(
+                f"unknown delta mode {delta!r}; expected 'on', 'off' or 'verify'"
+            )
+        self.delta_mode = delta
+        # per-(db, memo key) node-level plan states for incremental updates.
+        # Unlike the result memo this holds the database *strongly*: in the
+        # canonical stream pattern (``db = db.apply_delta(...)`` in a loop,
+        # the store patching its snapshot) the parent loses its last strong
+        # reference the moment the successor exists, which would sever the
+        # provenance weakref before the next evaluation can use it.  The
+        # history is a small LRU (``state_history`` databases), so a long
+        # stream still retains only its recent past.
+        self._state_history = state_history
+        self._states: "OrderedDict[int, Tuple[Database, Dict[Tuple, PlanState]]]" = (
+            OrderedDict()
+        )
+        self._states_lock = threading.Lock()
+        self.delta_hits = 0
+        self.delta_misses = 0
 
     # -- cache plumbing --------------------------------------------------------
 
     def clear_caches(self) -> None:
         self._plans.clear()
         self._memo.clear()
+        with self._states_lock:
+            self._states.clear()
 
     def cache_stats(self) -> Dict[str, int]:
+        with self._states_lock:
+            states = sum(len(states) for _db, states in self._states.values())
         return {
-            "plans": len(self._plans._data),
+            "plans": len(self._plans),
             "memo": sum(len(lru) for lru in self._memo.values()),
+            "states": states,
         }
 
     def _memo_for(self, db: Database) -> _LRU:
@@ -193,11 +263,21 @@ class CompiledBackend(Backend):
         return lru
 
     def plan_for(self, formula: Formula, variables: Tuple[str, ...]) -> Plan:
-        """The (cached) compiled plan for ``formula`` over ``variables``."""
+        """The (cached) compiled plan for ``formula`` over ``variables``.
+
+        Known-uncompilable formulas are cached too (as a sentinel), so a
+        formula the compiler rejects is not re-compiled on every check.
+        """
         key = (formula, variables)
         plan = self._plans.get(key)
+        if plan is _UNCOMPILABLE:
+            raise CompileError(f"formula {formula!r} is not compilable (cached)")
         if plan is None:
-            plan = compile_extension(formula, variables)
+            try:
+                plan = compile_extension(formula, variables)
+            except CompileError:
+                self._plans.put(key, _UNCOMPILABLE)
+                raise
             self._plans.put(key, plan)
         return plan
 
@@ -219,23 +299,139 @@ class CompiledBackend(Backend):
         memo_key = (formula, variables, domain_key, signature)
         cached = memo.get(memo_key)
         if cached is not None:
+            if self.delta_mode != "off" and self._state_for(db, memo_key) is None:
+                # the result memo is *content*-keyed, so a database that
+                # round-tripped back to a known state hits it without ever
+                # recording node-level plan states for this object — derive
+                # them through the (usually empty) composed delta so the
+                # provenance chain stays warm for the next update
+                try:
+                    plan = self.plan_for(formula, variables)
+                except CompileError:
+                    return set(cached)
+                ctx = ExecutionContext(db, domain_key, signature)
+                self._incremental_extension(plan, db, memo_key, ctx, warming=True)
             return set(cached)
         try:
             plan = self.plan_for(formula, variables)
         except CompileError:
+            # interpreter fallback — memoised exactly like a compiled result,
+            # so a repeated check against the same database is a lookup
             self.fallbacks += 1
-            return self._naive.extension(formula, db, variables, signature, domain_key)
+            rows = frozenset(
+                self._naive.extension(formula, db, variables, signature, domain_key)
+            )
+            memo.put(memo_key, rows)
+            return set(rows)
         ctx = ExecutionContext(db, domain_key, signature)
-        try:
-            rows = plan.rows(ctx)
-        except (DatabaseError, SignatureError) as exc:
-            # match the interpreter's error contract (missing relations or
-            # Omega symbols surface as EvaluationError)
-            from ..logic.evaluation import EvaluationError
+        rows = None
+        if self.delta_mode != "off":
+            rows = self._incremental_extension(plan, db, memo_key, ctx)
+        if rows is None:
+            try:
+                rows = plan.rows(ctx)
+            except (DatabaseError, SignatureError) as exc:
+                # match the interpreter's error contract (missing relations or
+                # Omega symbols surface as EvaluationError)
+                from ..logic.evaluation import EvaluationError
 
-            raise EvaluationError(str(exc)) from exc
+                raise EvaluationError(str(exc)) from exc
+            if self.delta_mode != "off":
+                self._remember_state(db, memo_key, PlanState(dict(ctx.cache)))
         memo.put(memo_key, rows)
         return set(rows)
+
+    # -- incremental (delta) evaluation -----------------------------------------
+
+    def _state_for(self, db: Database, memo_key: Tuple) -> Optional[PlanState]:
+        key = id(db)
+        with self._states_lock:
+            entry = self._states.get(key)
+            if entry is None or entry[0] is not db:
+                return None
+            state = entry[1].get(memo_key)
+            if state is not None:
+                # a hit marks the base as hot: the stream pattern keeps
+                # deriving successors from it (rejected updates especially),
+                # and evicting it would sever every future chain
+                self._states.move_to_end(key)
+            return state
+
+    def _remember_state(self, db: Database, memo_key: Tuple, state: PlanState) -> None:
+        key = id(db)
+        with self._states_lock:
+            entry = self._states.get(key)
+            if entry is None or entry[0] is not db:
+                entry = (db, {})
+                self._states[key] = entry
+            self._states.move_to_end(key)
+            states = entry[1]
+            states[memo_key] = state
+            while len(states) > self._memo_size:
+                states.pop(next(iter(states)))
+            while len(self._states) > self._state_history:
+                self._states.popitem(last=False)
+
+    def _incremental_extension(
+        self,
+        plan: Plan,
+        db: Database,
+        memo_key: Tuple,
+        ctx: ExecutionContext,
+        warming: bool = False,
+    ):
+        """Evaluate through the delta rules when a usable parent state exists.
+
+        Walks the database's ``apply_delta`` provenance (composing the
+        per-step deltas) until it finds an ancestor this backend evaluated
+        ``memo_key`` against; returns ``None`` — full execution — when there
+        is no such ancestor or the incremental pass declines.  A ``warming``
+        call (state propagation behind a memo hit) leaves ``delta_misses``
+        alone on failure: no full execution follows, so nothing was missed.
+        """
+        current = db
+        delta_to_db: Optional[Delta] = None
+        for _ in range(_MAX_PROVENANCE_CHAIN):
+            link = current.provenance_step()
+            if link is None:
+                break
+            parent, step = link
+            delta_to_db = step if delta_to_db is None else step.then(delta_to_db)
+            state = self._state_for(parent, memo_key)
+            if state is None:
+                current = parent
+                continue
+            delta = delta_to_db
+            try:
+                rows, new_state = incremental_update(
+                    plan, parent, state, delta, ctx, fixed_domain=memo_key[2] is not None
+                )
+            except DeltaFallback:
+                break
+            except (DatabaseError, SignatureError) as exc:
+                from ..logic.evaluation import EvaluationError
+
+                raise EvaluationError(str(exc)) from exc
+            if self.delta_mode == "verify":
+                check_ctx = ExecutionContext(db, memo_key[2], memo_key[3])
+                full = plan.rows(check_ctx)
+                if full != rows:
+                    raise AssertionError(
+                        f"incremental evaluation diverged for {memo_key[0]!r}: "
+                        f"delta says {sorted(rows, key=repr)[:5]}..., "
+                        f"full run says {sorted(full, key=repr)[:5]}..."
+                    )
+            if not warming:
+                # a warming pass only refreshes node states behind a memo
+                # hit — the check itself was answered by the memo, so the
+                # hit/miss counters (surfaced as incremental_evaluations in
+                # maintenance reports) stay untouched either way
+                self.delta_hits += 1
+            self._remember_state(db, memo_key, new_state)
+            return rows
+        if not warming:
+            self.delta_misses += 1
+        return None
 
     def evaluate(self, formula, db, assignment=None, signature=EMPTY_SIGNATURE, domain=None):
         env = dict(assignment or {})
@@ -272,20 +468,48 @@ class CompiledBackend(Backend):
 # the process-global active backend
 # ---------------------------------------------------------------------------
 
+#: Names accepted by :func:`backend_from_name` (and ``REPRO_BACKEND``).
+BACKEND_NAMES = ("naive", "compiled", "compiled-delta", "compiled-nodelta")
+
+
 def backend_from_name(name: str) -> Backend:
-    """Instantiate a backend by its registry name (``naive`` / ``compiled``)."""
+    """Instantiate a backend by its registry name (see :data:`BACKEND_NAMES`).
+
+    ``compiled-delta`` / ``compiled-nodelta`` are the compiled engine with
+    incremental delta evaluation forced on / off regardless of
+    ``REPRO_DELTA`` (the benchmarks use them to A/B the update fast path).
+    """
     normalized = name.strip().lower()
     if normalized in ("naive", "interpreter", "model"):
         return NaiveBackend()
     if normalized in ("compiled", "engine", "plans"):
         return CompiledBackend()
-    raise ValueError(f"unknown backend {name!r}; expected 'naive' or 'compiled'")
+    if normalized == "compiled-delta":
+        return CompiledBackend(delta="on")
+    if normalized == "compiled-nodelta":
+        return CompiledBackend(delta="off")
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )
 
+
+_DEFAULT_BACKEND_NAME = "compiled"
 
 try:
-    _ACTIVE: Backend = backend_from_name(os.environ.get("REPRO_BACKEND", "compiled"))
+    _ACTIVE: Backend = backend_from_name(
+        os.environ.get("REPRO_BACKEND", _DEFAULT_BACKEND_NAME)
+    )
 except ValueError as exc:
-    raise ValueError(f"invalid REPRO_BACKEND environment variable: {exc}") from exc
+    # a typo in the environment must not make the package unimportable —
+    # warn, name the accepted values, and fall back to the default engine
+    warnings.warn(
+        f"ignoring invalid REPRO_BACKEND: {exc}; accepted values are "
+        f"{', '.join(BACKEND_NAMES)} — falling back to "
+        f"{_DEFAULT_BACKEND_NAME!r}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    _ACTIVE = backend_from_name(_DEFAULT_BACKEND_NAME)
 
 
 def active_backend() -> Backend:

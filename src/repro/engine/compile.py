@@ -187,6 +187,13 @@ def _predicate_for(formula: Formula, columns: Tuple[str, ...]):
     raise CompileError(f"no row predicate for {type(formula).__name__}")
 
 
+def _depends_for(formula: Formula) -> frozenset:
+    """Base relations a pushed-down selection reads (for delta evaluation)."""
+    if isinstance(formula, Atom):
+        return frozenset({formula.relation})
+    return frozenset()  # interpreted atoms and (in)equalities: signature only
+
+
 def _fallback_atomic(formula: Formula) -> Plan:
     """Standalone plan for an atomic formula needing per-row evaluation.
 
@@ -196,7 +203,12 @@ def _fallback_atomic(formula: Formula) -> Plan:
     """
     columns = _free(formula)
     base: Plan = DomainProduct(columns)
-    return Select(base, _predicate_for(formula, columns), description=str(formula))
+    return Select(
+        base,
+        _predicate_for(formula, columns),
+        description=str(formula),
+        depends=_depends_for(formula),
+    )
 
 
 def _pushed_negation(body: Formula) -> Optional[Formula]:
@@ -373,6 +385,7 @@ def _compile_and(parts: Sequence[Formula]) -> Plan:
                         current,
                         _predicate_for(pending, current.columns),
                         description=str(pending),
+                        depends=_depends_for(pending),
                     )
                     filters.remove(pending)
                     changed = True

@@ -190,6 +190,32 @@ class Scan(Plan):
         self._var_positions = tuple(var_positions)
         super().__init__([name for name, _pos in var_positions])
 
+    def match_row(self, row: Row, domain) -> Optional[Row]:
+        """The output tuple this pattern produces for ``row``, or ``None``.
+
+        The single source of truth for the scan semantics (constant
+        positions, repeated-variable consistency, the active-domain filter,
+        wrong-arity rows matching nothing) — the full scan and the
+        incremental delta rule both go through it.
+        """
+        pattern = self.pattern
+        if len(row) != len(pattern):
+            return None
+        binding: Dict[str, object] = {}
+        for value, (kind, spec) in zip(row, pattern):
+            if kind == "const":
+                if value != spec:
+                    return None
+                continue
+            bound = binding.get(spec, _MISSING)
+            if bound is _MISSING:
+                if value not in domain:
+                    return None
+                binding[spec] = value
+            elif bound != value:
+                return None
+        return tuple(binding[name] for name in self.columns)
+
     def _rows(self, ctx: ExecutionContext) -> Rows:
         candidates: Iterable[Row] = ctx.db.relation(self.relation)
         if self._const_positions:
@@ -202,26 +228,10 @@ class Scan(Plan):
                 candidates = index.get(self._const_values, frozenset())
         domain = ctx.domain
         result: Set[Row] = set()
-        pattern = self.pattern
         for row in candidates:
-            if len(row) != len(pattern):
-                continue
-            binding: Dict[str, object] = {}
-            ok = True
-            for value, (kind, name) in zip(row, pattern):
-                if kind != "var":
-                    continue
-                bound = binding.get(name, _MISSING)
-                if bound is _MISSING:
-                    if value not in domain:
-                        ok = False
-                        break
-                    binding[name] = value
-                elif bound != value:
-                    ok = False
-                    break
-            if ok:
-                result.add(tuple(binding[name] for name in self.columns))
+            out = self.match_row(row, domain)
+            if out is not None:
+                result.add(out)
         ctx.count("scan", len(result))
         return frozenset(result)
 
@@ -324,20 +334,27 @@ class Select(Plan):
     Used for interpreted (``Omega``) atoms and (in)equalities over function
     terms once all their variables are bound by the child — the pushed-down
     selection of the compiler.
+
+    ``depends`` declares which base relations the predicate reads (an empty
+    frozenset for signature-only predicates).  ``None`` means unknown; the
+    incremental evaluator then re-runs the selection instead of assuming the
+    predicate is stable under database deltas.
     """
 
-    __slots__ = ("child", "predicate", "description")
+    __slots__ = ("child", "predicate", "description", "depends")
 
     def __init__(
         self,
         child: Plan,
         predicate: Callable[[Row, ExecutionContext], bool],
         description: str = "predicate",
+        depends: Optional[FrozenSet[str]] = None,
     ):
         super().__init__(child.columns)
         self.child = child
         self.predicate = predicate
         self.description = description
+        self.depends = depends
 
     def children(self) -> Tuple[Plan, ...]:
         return (self.child,)

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..db.database import Database
+from ..db.delta import Delta
 from ..db.schema import GRAPH_SCHEMA, Schema
 from ..logic.evaluation import Model
 from ..logic.rewrite import AtomDefinition, substitute_atoms
@@ -215,7 +216,11 @@ class InsertWhere(Statement):
 
     def execute(self, context: ExecutionContext) -> ExecutionContext:
         rows = context.satisfying_candidates(self.condition, self.variables)
-        database = context.database.insert(self.relation, *rows) if rows else context.database
+        if not rows:
+            return context
+        # one bulk delta: the successor database shares everything untouched
+        # and carries the provenance the incremental engine keys on
+        database = context.database.apply_delta(Delta(inserted={self.relation: rows}))
         return context.with_database(database)
 
 
@@ -263,9 +268,9 @@ class DeleteWhere(Statement):
                     model = context.model()
                 if model.check(self.condition, dict(zip(self.variables, row))):
                     doomed.append(row)
-        database = (
-            context.database.delete(self.relation, *doomed) if doomed else context.database
-        )
+        if not doomed:
+            return context
+        database = context.database.apply_delta(Delta(deleted={self.relation: doomed}))
         return context.with_database(database)
 
 
@@ -483,6 +488,21 @@ class FOProgram(Transaction):
         for statement in self.statements:
             context = statement.execute(context)
         return context.database
+
+    def apply_with_delta(self, db: Database) -> Tuple[Database, Delta]:
+        """Run the program and also return its *net* effect as a delta.
+
+        The delta is recovered from the post-state's ``apply_delta``
+        provenance (every statement routes its writes through deltas), so no
+        relation is diffed row by row unless the provenance chain was broken
+        by garbage collection — then :meth:`Delta.from_databases` is the
+        fallback.
+        """
+        post = self.apply(db)
+        delta = Delta.between(db, post)
+        if delta is None:
+            delta = Delta.from_databases(db, post)
+        return post, delta
 
     # -- compilation to prerelations -------------------------------------------
 
