@@ -23,9 +23,15 @@ engine keeps the whole experiment suite "as fast as the hardware allows".
 Usage::
 
     python benchmarks/run_all.py                 # everything, both backends
-    python benchmarks/run_all.py --quick         # the three engine-bound ones
+    python benchmarks/run_all.py --quick         # the engine-bound ones
     python benchmarks/run_all.py -e e09,e13      # a subset
     python benchmarks/run_all.py -b compiled     # one backend only
+    python benchmarks/run_all.py -e e16 --seed 7 --jobs 8   # reproducible E16
+
+``--seed``/``--jobs`` pin the workload streams and the service worker count
+(exported as ``REPRO_SEED`` / ``REPRO_SERVICE_WORKERS``); both are recorded
+in the trajectory file, and experiments that print ``BENCH-METRIC`` lines
+(E16's throughput/speedup/abort-rate) get them folded into their row.
 """
 
 from __future__ import annotations
@@ -43,11 +49,15 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13", "e15")
+QUICK = ("e09", "e12", "e13", "e15", "e16")
 # per-experiment extra backends beyond the requested ones: the update-stream
 # experiment A/Bs the compiled engine with delta evaluation off, so the
 # trajectory records the incremental win (``delta_speedup``) explicitly
 EXTRA_BACKENDS = {"e15": ("compiled-nodelta",)}
+# per-experiment backend restriction: the service experiment compares the
+# concurrent pipeline against a serial baseline *inside* one process — the
+# naive interpreter plays no role and would only burn the timeout
+ONLY_BACKENDS = {"e16": ("compiled",)}
 
 
 def discover() -> dict:
@@ -71,21 +81,26 @@ def git_revision() -> str:
         return "unknown"
 
 
-def run_one(path: str, backend: str, timeout: int) -> dict:
+def run_one(path: str, backend: str, timeout: int, seed: int, jobs: int) -> dict:
     """One pytest pass over one benchmark file under one backend."""
     env = dict(os.environ)
     env["REPRO_BACKEND"] = backend
     # an inherited REPRO_DELTA would silently corrupt the delta A/B: the
     # backend name alone must decide whether incremental evaluation is on
     env.pop("REPRO_DELTA", None)
+    # reproducibility knobs: workload streams derive from the seed, the
+    # service driver's thread count from the job count (E16 records both)
+    env["REPRO_SEED"] = str(seed)
+    env["REPRO_SERVICE_WORKERS"] = str(jobs)
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     command = [
-        sys.executable, "-m", "pytest", path, "-q",
+        sys.executable, "-m", "pytest", path, "-q", "-s",
         "-p", "no:cacheprovider", "--benchmark-disable",
     ]
     started = time.perf_counter()
+    metrics: dict = {}
     try:
         proc = subprocess.run(
             command, cwd=ROOT, env=env, capture_output=True, text=True,
@@ -96,12 +111,23 @@ def run_one(path: str, backend: str, timeout: int) -> dict:
         # REPRO_BACKEND kills the run before pytest prints anything)
         output = proc.stdout.strip() or proc.stderr.strip()
         tail = output.splitlines()[-1] if output else ""
+        # fold machine-readable per-benchmark figures into the trajectory
+        for line in proc.stdout.splitlines():
+            # pytest's progress dots may share the line with the marker
+            marker = line.find("BENCH-METRIC ")
+            if marker >= 0:
+                try:
+                    payload = json.loads(line[marker + len("BENCH-METRIC "):])
+                    metrics[payload.pop("metric", "metric")] = payload
+                except (ValueError, TypeError):
+                    pass
     except subprocess.TimeoutExpired:
         ok, tail = False, f"timeout after {timeout}s"
     return {
         "seconds": round(time.perf_counter() - started, 3),
         "ok": ok,
         "summary": tail,
+        "metrics": metrics,
     }
 
 
@@ -127,6 +153,14 @@ def main(argv=None) -> int:
         "--timeout", type=int, default=900, help="per-run timeout in seconds"
     )
     parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (REPRO_SEED) so throughput numbers reproduce exactly",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=8,
+        help="service worker threads (REPRO_SERVICE_WORKERS) for E16",
+    )
+    parser.add_argument(
         "-o", "--output", default=None,
         help="output JSON path (default: BENCH_<rev>.json in the repo root)",
     )
@@ -150,15 +184,23 @@ def main(argv=None) -> int:
     for experiment in wanted:
         row: dict = {}
         exp_backends = list(backends)
+        only = ONLY_BACKENDS.get(experiment)
+        if only is not None:
+            exp_backends = [b for b in exp_backends if b in only] or list(only)
         if not args.no_extra_backends:
             for extra in EXTRA_BACKENDS.get(experiment, ()):
                 if extra not in exp_backends:
                     exp_backends.append(extra)
         for backend in exp_backends:
-            outcome = run_one(experiments[experiment], backend, args.timeout)
+            outcome = run_one(
+                experiments[experiment], backend, args.timeout,
+                args.seed, args.jobs,
+            )
             row[backend] = outcome["seconds"]
             row.setdefault("ok", True)
             row["ok"] = row["ok"] and outcome["ok"]
+            if outcome["metrics"]:
+                row.setdefault("metrics", {}).update(outcome["metrics"])
             all_ok = all_ok and outcome["ok"]
             print(
                 f"{experiment:<5} {backend:<16} {outcome['seconds']:>8.2f}s  "
@@ -176,6 +218,8 @@ def main(argv=None) -> int:
         "rev": rev,
         "python": platform.python_version(),
         "backends": backends,
+        "seed": args.seed,
+        "jobs": args.jobs,
         "results": results,
     }
     output = args.output or os.path.join(ROOT, f"BENCH_{rev}.json")

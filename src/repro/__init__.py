@@ -33,6 +33,12 @@ Sub-packages
     algebra plans executed against indexed databases, behind a switchable
     backend protocol (``REPRO_BACKEND=naive|compiled``), with incremental
     delta re-evaluation along update streams (``REPRO_DELTA=on|off|verify``).
+``repro.service``
+    The concurrent transaction service: MVCC snapshots over the store,
+    delta-based optimistic conflict validation, WPC-verified admission
+    (statically safe shapes commit with zero runtime checks), group commit,
+    and the workload scenario library behind the E16 benchmark
+    (``REPRO_SERVICE_WORKERS`` selects the driver's thread count).
 
 Quickstart
 ----------
@@ -46,7 +52,7 @@ Quickstart
 >>> # wpc holds on a database iff the constraint holds after the program runs.
 """
 
-from . import core, db, engine, fmt, logic, transactions
+from . import core, db, engine, fmt, logic, service, transactions
 from .engine import (
     CompiledBackend,
     NaiveBackend,
@@ -71,6 +77,7 @@ from .core import (
 )
 from .db import Database, Schema, Store
 from .logic import Formula, evaluate, parse
+from .service import TransactionService, TransactionTemplate
 from .transactions import FOProgram, Transaction
 
 __version__ = "1.1.0"
@@ -81,6 +88,7 @@ __all__ = [
     "engine",
     "fmt",
     "logic",
+    "service",
     "transactions",
     "CompiledBackend",
     "NaiveBackend",
@@ -108,5 +116,7 @@ __all__ = [
     "parse",
     "FOProgram",
     "Transaction",
+    "TransactionService",
+    "TransactionTemplate",
     "__version__",
 ]

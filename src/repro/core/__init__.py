@@ -5,11 +5,13 @@ and the Theorem 5 / Theorem 7 constructions.
 
 from .prerelations import PrerelationSpec, PrerelationTransaction, gamma_closure
 from .wpc import (
+    PreservationVerdict,
     SemanticPrecondition,
     WpcCalculator,
     WpcError,
     check_wpc,
     check_wpc_stream,
+    classify_preservation,
     find_wpc_counterexample,
     find_wpc_counterexample_stream,
     weakest_precondition,
@@ -68,6 +70,8 @@ __all__ = [
     "find_wpc_counterexample",
     "find_wpc_counterexample_stream",
     "weakest_precondition",
+    "PreservationVerdict",
+    "classify_preservation",
     "ChainTransaction",
     "ChainWpcCalculator",
     "chain_transaction_datalog",

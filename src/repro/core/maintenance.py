@@ -66,6 +66,17 @@ class Constraint:
     def precondition_for(self, transaction: Transaction):
         return self.preconditions.get(transaction.name)
 
+    def register_precondition(self, transaction_name: str, precondition) -> None:
+        """Record a precomputed precondition for a named transaction shape.
+
+        The admission controller of :mod:`repro.service` calls this after
+        classifying a transaction (see
+        :func:`repro.core.wpc.classify_preservation`), so the same
+        precondition table serves both :class:`StaticPreconditionPolicy` and
+        the concurrent service's admission fast path.
+        """
+        self.preconditions[transaction_name] = precondition
+
 
 @dataclass
 class MaintenanceReport:

@@ -74,6 +74,8 @@ __all__ = [
     "find_wpc_counterexample",
     "check_wpc_stream",
     "find_wpc_counterexample_stream",
+    "PreservationVerdict",
+    "classify_preservation",
 ]
 
 
@@ -420,3 +422,132 @@ def find_wpc_counterexample_stream(
         if before != after:
             return db
     return None
+
+
+# ---------------------------------------------------------------------------
+# admission classification
+# ---------------------------------------------------------------------------
+
+class PreservationVerdict:
+    """How much run-time checking a (transaction, constraint) pair needs.
+
+    The verdict is the currency of the service's admission controller
+    (:mod:`repro.service.admission`): it is computed **once** per registered
+    transaction shape and then consulted on every commit.
+
+    ``mode`` is one of
+
+    * ``"static"`` — ``wpc(T, alpha)`` is implied by ``alpha`` itself (the
+      ``wpc(C) ≡ C``-after-simplification case): any state satisfying the
+      constraint is mapped to a state satisfying it, so a transaction admitted
+      against a consistent snapshot commits with **zero** runtime constraint
+      work;
+    * ``"guarded"`` — a syntactic precondition exists but is not implied by
+      the invariant; ``guard`` holds the (invariant-simplified) formula to
+      evaluate on the *pre*-state: if it fails the transaction is rejected
+      before executing, and nothing ever rolls back;
+    * ``"runtime"`` — no syntactic precondition is available (the transaction
+      does not admit prerelations, or the constraint is semantic): the
+      post-state must be checked, incrementally, before the commit is kept.
+
+    Static and guarded verdicts are *bounded-verified* on a database family
+    (every graph up to 3 nodes by default), the same convention as the
+    ``Preserve`` procedures and :class:`BoundedSimplifier` — sound for every
+    database in the family, heuristic beyond it.  Pass a larger ``databases``
+    family to :func:`classify_preservation` to widen the certificate.
+    """
+
+    __slots__ = ("mode", "guard", "precondition", "reason", "family_size")
+
+    def __init__(self, mode, guard, precondition, reason, family_size=0):
+        self.mode = mode
+        self.guard = guard
+        self.precondition = precondition
+        self.reason = reason
+        self.family_size = family_size
+
+    def __repr__(self) -> str:
+        return f"PreservationVerdict({self.mode!r}, reason={self.reason!r})"
+
+
+def classify_preservation(
+    transaction,
+    constraint,
+    databases: Optional[Sequence[Database]] = None,
+    signature: Signature = EMPTY_SIGNATURE,
+    simplify_guard: bool = True,
+) -> PreservationVerdict:
+    """Classify how ``transaction`` must be checked against ``constraint``.
+
+    The admission fast path of the concurrent service: compute
+    ``wpc(T, alpha)`` once, simplify it under the invariant ``alpha`` (which
+    is guaranteed to hold on every committed state the transaction can be
+    admitted against), and decide
+
+    * **static** when the simplified precondition is ``true`` — i.e.
+      ``alpha |= wpc(T, alpha)`` on the verification family, so the
+      transaction preserves the constraint from any consistent state;
+    * **guarded** when a precondition exists but genuinely constrains the
+      pre-state — the returned guard is checked on the snapshot instead of
+      re-checking the constraint on the post-state;
+    * **runtime** when no syntactic precondition can be built (semantic
+      constraints, transactions without prerelations) — the caller falls back
+      to incremental post-state checking.
+
+    ``databases`` is the bounded-verification family; it defaults to every
+    graph on at most 3 nodes when the transaction's schema is the graph
+    schema, and to the empty family (purely syntactic simplification, never a
+    static verdict) otherwise.  ``simplify_guard=False`` skips the
+    invariant-aware guard simplification sweep and returns the raw ``wpc`` as
+    the guard — callers that substitute their own (verified) guards, like the
+    service's admission controller, avoid paying for a simplification they
+    will not use.
+    """
+    from ..db.graph import all_graphs
+    from ..db.schema import GRAPH_SCHEMA
+    from ..logic.syntax import TOP
+    from .simplification import BoundedSimplifier, equivalent_under
+
+    if not isinstance(constraint, Formula):
+        return PreservationVerdict(
+            "runtime", None, None,
+            "semantic constraint: no syntactic precondition exists",
+        )
+    try:
+        precondition = weakest_precondition(transaction, constraint)
+    except (WpcError, FormulaError) as exc:
+        return PreservationVerdict("runtime", None, None, str(exc))
+
+    schema = getattr(transaction, "schema", None)
+    if databases is None:
+        databases = list(all_graphs(3)) if schema == GRAPH_SCHEMA else []
+    else:
+        databases = list(databases)
+    if databases and equivalent_under(
+        constraint, precondition, TOP, databases, signature
+    ):
+        return PreservationVerdict(
+            "static", None, precondition,
+            "invariant implies wpc on the verification family",
+            family_size=len(databases),
+        )
+    if databases and simplify_guard:
+        simplified = BoundedSimplifier(
+            databases=databases, signature=signature
+        ).simplify(constraint, precondition).simplified
+    elif not simplify_guard:
+        simplified = precondition
+    else:
+        from ..logic.normalform import simplify as syntactic_simplify
+
+        simplified = syntactic_simplify(precondition)
+        if simplified == TOP:
+            return PreservationVerdict(
+                "static", None, precondition,
+                "wpc simplifies to true syntactically",
+            )
+    return PreservationVerdict(
+        "guarded", simplified, precondition,
+        "wpc constrains the pre-state",
+        family_size=len(databases),
+    )

@@ -170,6 +170,38 @@ class Delta:
         """The names of relations this delta affects."""
         return frozenset(self._inserted) | frozenset(self._deleted)
 
+    def rows_in(self, relation: str) -> Rows:
+        """Every row this delta touches (inserts or deletes) in ``relation``."""
+        return self._inserted.get(relation, _EMPTY) | self._deleted.get(
+            relation, _EMPTY
+        )
+
+    def overlapping_rows(self, other: "Delta") -> Dict[str, Rows]:
+        """Per relation, the rows touched by both ``self`` and ``other``.
+
+        This is the write-write conflict witness of optimistic concurrency
+        control: two transactions whose deltas share a touched row cannot both
+        commit against the same base state without one clobbering the other.
+        Only relations with a non-empty intersection appear in the result.
+        """
+        common: Dict[str, Rows] = {}
+        for name in self.touched() & other.touched():
+            shared = self.rows_in(name) & other.rows_in(name)
+            if shared:
+                common[name] = shared
+        return common
+
+    def overlaps(self, other: "Delta") -> bool:
+        """Do the two deltas touch a common row in some relation?
+
+        The cheap boolean form of :meth:`overlapping_rows` — O(min(|self|,
+        |other|)) set intersections over the commonly-touched relations.
+        """
+        for name in self.touched() & other.touched():
+            if self.rows_in(name) & other.rows_in(name):
+                return True
+        return False
+
     def is_empty(self) -> bool:
         return not self._inserted and not self._deleted
 

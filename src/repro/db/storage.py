@@ -13,16 +13,33 @@ This module provides the substrate both strategies run on: an in-memory,
 multi-relation store with snapshots, explicit transactions (begin / commit /
 rollback), write logging, and pluggable integrity-checking hooks.  The
 integrity-maintenance engine in :mod:`repro.core.maintenance` builds the two
-strategies on top of it and the E13 benchmark compares them.
+strategies on top of it and the E13 benchmark compares them; the concurrent
+transaction service in :mod:`repro.service` uses it as the canonical tail of
+its MVCC version chain.
+
+**Isolation semantics.**  Writes inside an open transaction are *buffered* in
+the write log, not applied to the committed state; the committed state only
+changes at commit time.  All reads issued through the store — :meth:`Store.scan`,
+:meth:`Store.contains`, :meth:`Store.cardinality` and :meth:`Store.snapshot`
+— are **read-your-own-writes**: during an open transaction they overlay the
+pending write log on the committed state, so a transaction always sees its own
+effects.  :meth:`Store.committed_snapshot` and :meth:`Store.pin` are the
+exceptions by design: they expose the last *committed* state (never the open
+log), which is what concurrent snapshot readers must see while a writer is
+mid-transaction.
 
 The store intentionally keeps the same data model as
 :class:`~repro.db.database.Database` (sets of tuples per relation) so that a
 snapshot can be handed to the logic evaluator or to a transaction object
-without conversion cost beyond freezing the sets.
+without conversion cost beyond freezing the sets.  All public methods take an
+internal re-entrant lock, so one store may be shared by a committing writer
+and any number of snapshot readers; the single-writer discipline (one open
+transaction at a time) is unchanged.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -66,7 +83,12 @@ class WriteOp:
 
 @dataclass
 class TransactionStats:
-    """Bookkeeping about committed / aborted transactions, used by benchmarks."""
+    """Bookkeeping about committed / aborted transactions, used by benchmarks.
+
+    Counters are updated through :meth:`add`, which takes an internal lock, so
+    the stats object can be shared by the service's worker threads; reading
+    the individual fields is a plain attribute access (a single aligned read).
+    """
 
     committed: int = 0
     aborted: int = 0
@@ -74,14 +96,24 @@ class TransactionStats:
     constraint_checks: int = 0
     precondition_checks: int = 0
     wall_time: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, **deltas: float) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, amount in deltas.items():
+                setattr(self, name, getattr(self, name) + amount)
 
     def reset(self) -> None:
-        self.committed = 0
-        self.aborted = 0
-        self.rolled_back_writes = 0
-        self.constraint_checks = 0
-        self.precondition_checks = 0
-        self.wall_time = 0.0
+        with self._lock:
+            self.committed = 0
+            self.aborted = 0
+            self.rolled_back_writes = 0
+            self.constraint_checks = 0
+            self.precondition_checks = 0
+            self.wall_time = 0.0
 
 
 def _fold_ops(ops: Sequence[WriteOp]) -> Delta:
@@ -112,20 +144,27 @@ class Store:
     """An in-memory transactional store over a fixed schema.
 
     Outside a transaction, reads are allowed but writes raise
-    :class:`StorageError`.  Inside a transaction, writes are applied eagerly
-    and logged; ``rollback`` replays the log in reverse.  ``commit`` runs all
-    registered integrity checkers against the tentative state and rolls back
-    (raising :class:`TransactionAborted`) if any of them rejects it.
+    :class:`StorageError`.  Inside a transaction, writes are buffered in the
+    write log and overlaid on every read (read-your-own-writes); ``rollback``
+    simply discards the log, and ``commit`` folds it into the committed state
+    after running all registered integrity checkers against the tentative
+    state (raising :class:`TransactionAborted` if any of them rejects it).
+
+    Each commit that changes the store advances :attr:`version`;
+    :meth:`pin` atomically returns ``(version, committed snapshot)``, the
+    anchor the MVCC service hands to concurrently running transactions.
     """
 
     def __init__(self, schema: Schema, initial: Optional[Database] = None):
+        self._lock = threading.RLock()
         self._schema = schema
+        # committed rows only — an open transaction's writes live in the log
         self._data: Dict[str, Set[Row]] = {name: set() for name in schema.relation_names}
-        # the last materialised snapshot plus the writes applied since; the
-        # next snapshot() patches the old one with the accumulated delta, so
-        # repeated snapshots along a transaction stream cost O(delta) instead
-        # of O(database) — and form the provenance chain the incremental
-        # query engine consumes
+        # the last materialised committed snapshot plus the committed writes
+        # applied since; the next snapshot() patches the old one with the
+        # accumulated delta, so repeated snapshots along a transaction stream
+        # cost O(delta) instead of O(database) — and form the provenance
+        # chain the incremental query engine consumes
         self._snapshot: Optional[Database] = None
         self._since_snapshot: List[WriteOp] = []
         if initial is not None:
@@ -135,6 +174,13 @@ class Store:
                 self._data[name] = set(initial.relation(name))
             self._snapshot = initial
         self._log: Optional[List[WriteOp]] = None
+        # net overlay of the open log, per relation (kept in sync with _log
+        # so reads and effectiveness checks are O(1) per row)
+        self._pending_add: Dict[str, Set[Row]] = {}
+        self._pending_del: Dict[str, Set[Row]] = {}
+        # tentative (committed + pending) snapshot, cached by log length
+        self._tentative: Optional[Tuple[int, Database]] = None
+        self._version = 0
         self._checkers: List[Tuple[str, Callable[[Database], bool]]] = []
         self.stats = TransactionStats()
 
@@ -144,38 +190,107 @@ class Store:
     def schema(self) -> Schema:
         return self._schema
 
+    @property
+    def version(self) -> int:
+        """A counter advanced by every commit that changed the store."""
+        with self._lock:
+            return self._version
+
+    def committed_snapshot(self) -> Database:
+        """The last *committed* state as an immutable :class:`Database`.
+
+        Never includes the open transaction's write log — this is the view a
+        concurrent snapshot reader is allowed to see while a writer is
+        mid-transaction.  Cached and patched forward by the committed deltas,
+        so the cost is O(writes since the last call).
+        """
+        with self._lock:
+            if self._snapshot is None:
+                self._snapshot = Database(
+                    self._schema, {k: list(v) for k, v in self._data.items()}
+                )
+                self._since_snapshot.clear()
+            elif self._since_snapshot:
+                self._snapshot = self._snapshot.apply_delta(
+                    _fold_ops(self._since_snapshot)
+                )
+                self._since_snapshot.clear()
+            return self._snapshot
+
+    def pin(self) -> Tuple[int, Database]:
+        """Atomically, the current ``(version, committed snapshot)`` pair.
+
+        This is the MVCC anchor: the returned database is immutable, so the
+        caller can evaluate against it for as long as it likes while other
+        threads commit; ``version`` tells the service which later deltas are
+        *foreign* to the pinned view.
+        """
+        with self._lock:
+            return self._version, self.committed_snapshot()
+
     def snapshot(self) -> Database:
         """An immutable :class:`Database` view of the current state.
 
-        Snapshots are cached and *patched*: the first call materialises a
-        database, subsequent calls apply the writes logged since as a
-        :class:`Delta` (``apply_delta``), so a snapshot after a small
-        transaction costs O(delta), shares all untouched relations with its
-        predecessor, and carries the provenance link incremental constraint
-        evaluation keys on.
+        **Read-your-own-writes**: during an open transaction this is the
+        *tentative* state — the committed snapshot patched with the open
+        write log (as a :class:`Delta`, so it provenance-chains off the
+        committed state and incremental constraint evaluation stays O(log)).
+        Outside a transaction it is simply the committed snapshot.
         """
-        if self._snapshot is None:
-            self._snapshot = Database(
-                self._schema, {k: list(v) for k, v in self._data.items()}
-            )
-        elif self._since_snapshot:
-            self._snapshot = self._snapshot.apply_delta(
-                _fold_ops(self._since_snapshot)
-            )
-        self._since_snapshot.clear()
-        return self._snapshot
+        with self._lock:
+            committed = self.committed_snapshot()
+            if not self._log:  # no transaction open, or nothing written yet
+                return committed
+            if self._tentative is not None and self._tentative[0] == len(self._log):
+                return self._tentative[1]
+            tentative = committed.apply_delta(_fold_ops(self._log))
+            self._tentative = (len(self._log), tentative)
+            return tentative
 
     def cardinality(self, relation: Optional[str] = None) -> int:
-        if relation is not None:
-            return len(self._data[relation])
-        return sum(len(rows) for rows in self._data.values())
+        """Row count, read-your-own-writes (sees the open write log)."""
+        with self._lock:
+            if relation is not None:
+                return len(self._effective_rows(relation))
+            return sum(
+                len(self._effective_rows(name)) for name in self._schema.relation_names
+            )
 
     def contains(self, relation: str, row: Sequence[object]) -> bool:
-        return self._schema[relation].validate_tuple(row) in self._data[relation]
+        """Is ``row`` present, read-your-own-writes?
+
+        During an open transaction the pending write log is consulted first:
+        a row inserted by the transaction is visible, a row it deleted is
+        not, regardless of the committed state.
+        """
+        with self._lock:
+            validated = self._schema[relation].validate_tuple(row)
+            if self._log is not None:
+                if validated in self._pending_add.get(relation, ()):
+                    return True
+                if validated in self._pending_del.get(relation, ()):
+                    return False
+            return validated in self._data[relation]
 
     def scan(self, relation: str) -> Iterable[Row]:
-        """Iterate over the rows of ``relation`` (a stable copy)."""
-        return list(self._data[relation])
+        """Iterate over the rows of ``relation`` (a stable copy).
+
+        Read-your-own-writes: rows inserted by the open transaction are
+        included, rows it deleted are excluded.
+        """
+        with self._lock:
+            return list(self._effective_rows(relation))
+
+    def _effective_rows(self, relation: str) -> Set[Row]:
+        """Committed rows overlaid with the open write log (internal, locked)."""
+        rows = self._data[relation]
+        if self._log is None:
+            return rows
+        added = self._pending_add.get(relation)
+        removed = self._pending_del.get(relation)
+        if not added and not removed:
+            return rows
+        return (rows - (removed or set())) | (added or set())
 
     # -- integrity checkers --------------------------------------------------------
 
@@ -185,49 +300,63 @@ class Store:
         ``checker`` receives the tentative post-state as a :class:`Database`
         and must return ``True`` to accept it.
         """
-        self._checkers.append((name, checker))
+        with self._lock:
+            self._checkers.append((name, checker))
 
     def clear_checkers(self) -> None:
-        self._checkers.clear()
+        with self._lock:
+            self._checkers.clear()
 
     @property
     def checker_names(self) -> Tuple[str, ...]:
-        return tuple(name for name, _fn in self._checkers)
+        with self._lock:
+            return tuple(name for name, _fn in self._checkers)
 
     # -- transactions ----------------------------------------------------------------
 
     @property
     def in_transaction(self) -> bool:
-        return self._log is not None
+        with self._lock:
+            return self._log is not None
 
     def begin(self) -> None:
-        if self._log is not None:
-            raise StorageError("a transaction is already open")
-        self._log = []
+        with self._lock:
+            if self._log is not None:
+                raise StorageError("a transaction is already open")
+            self._log = []
+            self._pending_add = {}
+            self._pending_del = {}
+            self._tentative = None
 
     def insert(self, relation: str, row: Sequence[object]) -> bool:
-        """Insert ``row``; returns ``True`` if the store changed."""
-        self._require_transaction()
-        validated = self._schema[relation].validate_tuple(row)
-        if validated in self._data[relation]:
-            return False
-        self._data[relation].add(validated)
-        op = WriteOp("insert", relation, validated)
-        self._log.append(op)
-        self._since_snapshot.append(op)
-        return True
+        """Insert ``row``; returns ``True`` if the (effective) store changed."""
+        with self._lock:
+            log = self._require_transaction()
+            validated = self._schema[relation].validate_tuple(row)
+            removed = self._pending_del.get(relation)
+            if removed is not None and validated in removed:
+                removed.discard(validated)  # re-insert of a row this txn deleted
+            elif validated in self._effective_rows(relation):
+                return False
+            else:
+                self._pending_add.setdefault(relation, set()).add(validated)
+            log.append(WriteOp("insert", relation, validated))
+            return True
 
     def delete(self, relation: str, row: Sequence[object]) -> bool:
-        """Delete ``row``; returns ``True`` if the store changed."""
-        self._require_transaction()
-        validated = self._schema[relation].validate_tuple(row)
-        if validated not in self._data[relation]:
-            return False
-        self._data[relation].remove(validated)
-        op = WriteOp("delete", relation, validated)
-        self._log.append(op)
-        self._since_snapshot.append(op)
-        return True
+        """Delete ``row``; returns ``True`` if the (effective) store changed."""
+        with self._lock:
+            log = self._require_transaction()
+            validated = self._schema[relation].validate_tuple(row)
+            added = self._pending_add.get(relation)
+            if added is not None and validated in added:
+                added.discard(validated)  # delete of a row this txn inserted
+            elif validated not in self._effective_rows(relation):
+                return False
+            else:
+                self._pending_del.setdefault(relation, set()).add(validated)
+            log.append(WriteOp("delete", relation, validated))
+            return True
 
     def apply_delta(self, delta: Delta) -> int:
         """Inside a transaction, apply ``delta``; returns the writes performed.
@@ -235,15 +364,16 @@ class Store:
         Every write goes through :meth:`insert`/:meth:`delete`, so the write
         log (and therefore rollback) sees the delta tuple by tuple.
         """
-        self._require_transaction()
-        changed = 0
-        for name, rows in delta.deleted.items():
-            for row in rows:
-                changed += self.delete(name, row)
-        for name, rows in delta.inserted.items():
-            for row in rows:
-                changed += self.insert(name, row)
-        return changed
+        with self._lock:
+            self._require_transaction()
+            changed = 0
+            for name, rows in delta.deleted.items():
+                for row in rows:
+                    changed += self.delete(name, row)
+            for name, rows in delta.inserted.items():
+                for row in rows:
+                    changed += self.insert(name, row)
+            return changed
 
     def apply_database(self, target: Database) -> None:
         """Inside a transaction, make the store equal to ``target``.
@@ -255,65 +385,73 @@ class Store:
         produces), the net delta is replayed directly — O(|delta|) instead of
         an O(database) relation-by-relation diff.
         """
-        self._require_transaction()
-        if target.schema != self._schema:
-            raise StorageError("target database has a different schema")
-        if self._snapshot is not None and not self._since_snapshot:
-            # store state == self._snapshot: a provenance chain from it gives
-            # the net update without reading a single unchanged row
-            delta = Delta.between(self._snapshot, target)
-            if delta is not None:
-                self.apply_delta(delta)
-                return
-        for name in self._schema.relation_names:
-            current = set(self._data[name])
-            wanted = set(target.relation(name))
-            for row in current - wanted:
-                self.delete(name, row)
-            for row in wanted - current:
-                self.insert(name, row)
+        with self._lock:
+            self._require_transaction()
+            if target.schema != self._schema:
+                raise StorageError("target database has a different schema")
+            if (
+                self._snapshot is not None
+                and not self._since_snapshot
+                and not self._log
+            ):
+                # effective state == self._snapshot: a provenance chain from
+                # it gives the net update without reading one unchanged row
+                delta = Delta.between(self._snapshot, target)
+                if delta is not None:
+                    self.apply_delta(delta)
+                    return
+            for name in self._schema.relation_names:
+                current = set(self._effective_rows(name))
+                wanted = set(target.relation(name))
+                for row in current - wanted:
+                    self.delete(name, row)
+                for row in wanted - current:
+                    self.insert(name, row)
 
     def rollback(self) -> int:
-        """Undo every write of the open transaction; returns the number undone."""
-        log = self._require_transaction()
-        undone = 0
-        for op in reversed(log):
-            inverse = op.inverse()
-            if inverse.kind == "insert":
-                self._data[inverse.relation].add(inverse.row)
-            else:
-                self._data[inverse.relation].discard(inverse.row)
-            self._since_snapshot.append(inverse)
-            undone += 1
-        self.stats.rolled_back_writes += undone
-        self.stats.aborted += 1
-        self._log = None
-        return undone
+        """Discard every write of the open transaction; returns the number undone.
+
+        Writes are buffered, so rollback never touches the committed state —
+        it drops the log (the ``never needs a roll-back`` property static
+        verification pays for is about *logical* aborts; physically, aborting
+        is free either way).
+        """
+        with self._lock:
+            log = self._require_transaction()
+            undone = len(log)
+            self._discard_pending()
+            self.stats.add(rolled_back_writes=undone, aborted=1)
+            return undone
 
     def commit_unchecked(self) -> None:
         """Commit the open transaction without running the integrity checkers.
 
         Used by maintenance policies that have already established integrity
-        by other means (e.g. a weakest-precondition check before execution).
+        by other means (e.g. a weakest-precondition check before execution),
+        and by the service's group-commit pipeline, whose admission controller
+        decided per transaction how much checking was needed.
         """
-        self._require_transaction()
-        self._log = None
-        self.stats.committed += 1
+        with self._lock:
+            self._require_transaction()
+            self._commit_pending()
+            self.stats.add(committed=1)
 
     def commit(self) -> None:
         """Run integrity checkers and either commit or roll back."""
-        self._require_transaction()
-        started = time.perf_counter()
-        state = self.snapshot()
-        for name, checker in self._checkers:
-            self.stats.constraint_checks += 1
-            if not checker(state):
-                self.rollback()
-                self.stats.wall_time += time.perf_counter() - started
-                raise TransactionAborted(f"integrity constraint {name!r} violated")
-        self._log = None
-        self.stats.committed += 1
-        self.stats.wall_time += time.perf_counter() - started
+        with self._lock:
+            self._require_transaction()
+            started = time.perf_counter()
+            state = self.snapshot()  # tentative: committed + pending writes
+            for name, checker in self._checkers:
+                self.stats.add(constraint_checks=1)
+                if not checker(state):
+                    self.rollback()
+                    self.stats.add(wall_time=time.perf_counter() - started)
+                    raise TransactionAborted(
+                        f"integrity constraint {name!r} violated"
+                    )
+            self._commit_pending()
+            self.stats.add(committed=1, wall_time=time.perf_counter() - started)
 
     def run(self, body: Callable[["Store"], None]) -> bool:
         """Run ``body`` inside a transaction; returns ``True`` on commit.
@@ -338,11 +476,54 @@ class Store:
             return False
         return True
 
+    # -- internal ------------------------------------------------------------------
+
+    def _commit_pending(self) -> None:
+        """Fold the open write log into the committed state (locked)."""
+        log = self._log
+        assert log is not None
+        # the *net* overlay decides whether anything changed: a log whose
+        # writes cancel out (insert then delete of the same row) must not
+        # advance the version — `version` promises one bump per commit that
+        # changed the store, and the MVCC validation window keys on it
+        changed = any(self._pending_add.values()) or any(self._pending_del.values())
+        for name, rows in self._pending_add.items():
+            self._data[name] |= rows
+        for name, rows in self._pending_del.items():
+            self._data[name] -= rows
+        if changed:
+            if (
+                self._tentative is not None
+                and self._tentative[0] == len(log)
+                and self._snapshot is not None
+                and not self._since_snapshot
+            ):
+                # the tentative snapshot the checkers just saw *is* the new
+                # committed state — promote it instead of re-patching later
+                self._snapshot = self._tentative[1]
+            else:
+                self._since_snapshot.extend(log)
+            self._version += 1
+        self._discard_pending()
+
+    def _discard_pending(self) -> None:
+        self._log = None
+        self._pending_add = {}
+        self._pending_del = {}
+        self._tentative = None
+
     def _require_transaction(self) -> List[WriteOp]:
         if self._log is None:
             raise StorageError("no open transaction")
         return self._log
 
     def __repr__(self) -> str:
-        sizes = {name: len(rows) for name, rows in self._data.items()}
-        return f"Store(schema={self._schema!r}, sizes={sizes}, in_txn={self.in_transaction})"
+        with self._lock:
+            sizes = {
+                name: len(self._effective_rows(name))
+                for name in self._schema.relation_names
+            }
+            return (
+                f"Store(schema={self._schema!r}, sizes={sizes}, "
+                f"version={self._version}, in_txn={self._log is not None})"
+            )

@@ -37,7 +37,13 @@ from .plan import (
     UnionAll,
 )
 from .compile import CompileError, compile_extension, compile_sentence
-from .delta import DeltaFallback, PlanState, incremental_update
+from .delta import (
+    DeltaFallback,
+    PlanState,
+    evaluate_under,
+    incremental_update,
+    predicate_changed,
+)
 from .backend import (
     BACKEND_NAMES,
     Backend,
@@ -72,6 +78,8 @@ __all__ = [
     "DeltaFallback",
     "PlanState",
     "incremental_update",
+    "evaluate_under",
+    "predicate_changed",
     "BACKEND_NAMES",
     "Backend",
     "CompiledBackend",

@@ -213,6 +213,11 @@ class CompiledBackend(Backend):
         self._memo: "weakref.WeakKeyDictionary[Database, _LRU]" = (
             weakref.WeakKeyDictionary()
         )
+        # the weak-keyed memo dict and the bare int counters are shared by
+        # every worker thread of the transaction service; all access goes
+        # through these locks (the per-database _LRU values lock themselves)
+        self._memo_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
         self._naive = NaiveBackend()
         self.fallbacks = 0
         if delta is None:
@@ -242,25 +247,34 @@ class CompiledBackend(Backend):
 
     def clear_caches(self) -> None:
         self._plans.clear()
-        self._memo.clear()
+        with self._memo_lock:
+            self._memo.clear()
         with self._states_lock:
             self._states.clear()
 
     def cache_stats(self) -> Dict[str, int]:
         with self._states_lock:
             states = sum(len(states) for _db, states in self._states.values())
+        with self._memo_lock:
+            memo = sum(len(lru) for lru in self._memo.values())
         return {
             "plans": len(self._plans),
-            "memo": sum(len(lru) for lru in self._memo.values()),
+            "memo": memo,
             "states": states,
         }
 
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        """Thread-safe increment of a public statistics counter."""
+        with self._counter_lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
     def _memo_for(self, db: Database) -> _LRU:
-        lru = self._memo.get(db)
-        if lru is None:
-            lru = _LRU(self._memo_size)
-            self._memo[db] = lru
-        return lru
+        with self._memo_lock:
+            lru = self._memo.get(db)
+            if lru is None:
+                lru = _LRU(self._memo_size)
+                self._memo[db] = lru
+            return lru
 
     def plan_for(self, formula: Formula, variables: Tuple[str, ...]) -> Plan:
         """The (cached) compiled plan for ``formula`` over ``variables``.
@@ -317,7 +331,7 @@ class CompiledBackend(Backend):
         except CompileError:
             # interpreter fallback — memoised exactly like a compiled result,
             # so a repeated check against the same database is a lookup
-            self.fallbacks += 1
+            self._bump("fallbacks")
             rows = frozenset(
                 self._naive.extension(formula, db, variables, signature, domain_key)
             )
@@ -426,11 +440,11 @@ class CompiledBackend(Backend):
                 # hit — the check itself was answered by the memo, so the
                 # hit/miss counters (surfaced as incremental_evaluations in
                 # maintenance reports) stay untouched either way
-                self.delta_hits += 1
+                self._bump("delta_hits")
             self._remember_state(db, memo_key, new_state)
             return rows
         if not warming:
-            self.delta_misses += 1
+            self._bump("delta_misses")
         return None
 
     def evaluate(self, formula, db, assignment=None, signature=EMPTY_SIGNATURE, domain=None):

@@ -1,0 +1,476 @@
+"""The transaction service: optimistic execution, WPC admission, group commit.
+
+:class:`TransactionService` turns one :class:`~repro.db.storage.Store` into a
+multi-client transaction processor.  The lifecycle of one client transaction:
+
+1. **Pin** — the worker thread gets a :class:`SnapshotTransaction` against
+   the current committed ``(version, Database)`` (no locks held while the
+   client code runs).
+2. **Execute optimistically** — the client reads through the tracked handle
+   (read-your-own-writes) and buffers writes as a delta.  This is the
+   parallel part: any number of transactions execute simultaneously against
+   their immutable snapshots.
+3. **Group commit** — the worker enqueues a commit request and the first
+   worker to take the commit lock becomes the *leader*: it drains the queue,
+   validates each request against the deltas committed since its snapshot
+   (plus the earlier requests of the same batch), runs the admission-decided
+   constraint work, composes the surviving deltas with
+   :meth:`Delta.then <repro.db.delta.Delta.then>`, and applies the whole
+   batch to the canonical store in **one** ``apply_delta`` — one write-log
+   pass, one snapshot patch, one version bump, amortised over the batch.
+4. **Retry** — a conflicted transaction re-runs against a fresh snapshot; a
+   transaction still conflicted after ``max_retries`` optimistic attempts is
+   executed by the leader *inside* the commit section (the serial fallback),
+   which cannot conflict, so every transaction terminates.
+
+Admission (see :mod:`repro.service.admission`) decides the constraint work
+per request: ``static`` shapes commit with zero checks, ``guarded`` shapes
+get one pre-state guard evaluation (no rollback ever), everything else gets
+incremental post-state checking — the engine re-derives each constraint
+through its delta rules along the batch's provenance chain.
+
+A ``commit_timeout`` bounds every wait in the pipeline, so a deadlock (or a
+stuck leader) surfaces as a :class:`ServiceError` instead of a hang — both
+the stress suite and CI rely on this to fail fast.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.maintenance import Constraint
+from ..db.database import Database
+from ..db.delta import Delta
+from ..db.storage import Store
+from ..engine.backend import Backend, active_backend
+from ..logic.signature import EMPTY_SIGNATURE, Signature
+from ..logic.syntax import Formula
+from ..transactions.base import Transaction, TransactionAbortedSignal
+from .admission import AdmissionController, TransactionTemplate
+from .snapshots import ServiceError, SnapshotManager, SnapshotTransaction, validate
+
+__all__ = [
+    "WORKERS_ENV",
+    "default_workers",
+    "ServiceStats",
+    "TxnOutcome",
+    "TransactionService",
+]
+
+#: environment knob: default worker-thread count of the workload driver
+WORKERS_ENV = "REPRO_SERVICE_WORKERS"
+
+Work = Union[Transaction, Callable[[SnapshotTransaction], object]]
+
+
+def default_workers(fallback: int = 8) -> int:
+    """The worker count selected by ``REPRO_SERVICE_WORKERS`` (default 8)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return fallback
+    try:
+        value = int(raw)
+    except ValueError:
+        return fallback
+    return max(1, value)
+
+
+class ServiceStats:
+    """Thread-safe counters describing the service's life so far."""
+
+    _FIELDS = (
+        "submitted", "committed", "read_only_commits", "conflicts", "retries",
+        "serial_fallbacks", "rejected", "aborted", "batches", "batched_commits",
+        "max_batch", "static_skips", "guard_checks", "runtime_checks",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for name, amount in deltas.items():
+                setattr(self, name, getattr(self, name) + amount)
+
+    def saw_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_commits += size
+            if size > self.max_batch:
+                self.max_batch = size
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:
+        return f"ServiceStats({self.as_dict()!r})"
+
+
+@dataclass(frozen=True)
+class TxnOutcome:
+    """What happened to one submitted transaction.
+
+    ``status`` is ``"committed"`` (its delta is durable at ``version``),
+    ``"rejected"`` (an admission guard refused it before execution effects —
+    the no-rollback path), or ``"aborted"`` (a runtime constraint check on
+    the post-state failed).  Conflicts never surface here: they are retried
+    internally and only show up in ``attempts`` and the service stats.
+    """
+
+    status: str
+    reason: str = ""
+    version: int = -1
+    attempts: int = 1
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+
+class _CommitRequest:
+    __slots__ = (
+        "handle", "delta", "template", "params", "work", "serial", "tag",
+        "done", "status", "reason", "version",
+    )
+
+    def __init__(self, handle, delta, template, params, work, serial, tag=None):
+        self.handle = handle
+        self.delta = delta
+        self.template = template
+        self.params = params
+        self.work = work
+        self.serial = serial
+        self.tag = tag
+        self.done = threading.Event()
+        self.status = "pending"
+        self.reason = ""
+        self.version = -1
+
+
+class TransactionService:
+    """A multi-client, MVCC + group-commit transaction processor over a store.
+
+    ``store`` may be a :class:`Store` or a plain :class:`Database` (wrapped).
+    ``constraints`` are maintained across every commit; *how* each commit
+    pays for them is decided by the admission controller — register
+    transaction templates with :meth:`register` to unlock the static and
+    guarded fast paths.  Commits bypass the store's own checker hooks
+    (``commit_unchecked``) because admission already decided the checking.
+    """
+
+    def __init__(
+        self,
+        store: Union[Store, Database],
+        constraints: Sequence[Constraint] = (),
+        signature: Signature = EMPTY_SIGNATURE,
+        admission: Optional[AdmissionController] = None,
+        max_retries: int = 8,
+        commit_timeout: float = 60.0,
+        backend: Optional[Backend] = None,
+        history_limit: int = 1024,
+    ):
+        if isinstance(store, Database):
+            store = Store(store.schema, store)
+        self.store = store
+        self.constraints = list(constraints)
+        self.signature = signature
+        self.backend = backend if backend is not None else active_backend()
+        self.admission = admission if admission is not None else AdmissionController(
+            self.constraints, signature
+        )
+        self.snapshots = SnapshotManager(store, history_limit=history_limit)
+        self.max_retries = max_retries
+        self.commit_timeout = commit_timeout
+        self.stats = ServiceStats()
+        self._queue_lock = threading.Lock()
+        self._queue: List[_CommitRequest] = []
+        self._commit_lock = threading.Lock()
+        #: tags of committed *writer* transactions, in commit order — the
+        #: serial history every committed run is equivalent to (appended under
+        #: the commit lock; read-only commits never enter the pipeline and
+        #: serialize at their snapshot point instead)
+        self.commit_log: List[object] = []
+
+    # -- registration and reads ----------------------------------------------------
+
+    def register(self, template: TransactionTemplate):
+        """Classify a transaction template once; returns its verdicts."""
+        return self.admission.register(template)
+
+    def begin(self) -> SnapshotTransaction:
+        """A fresh tracked handle pinned to the committed head (for ad-hoc use)."""
+        return self.snapshots.begin(self.signature, self.backend)
+
+    def snapshot(self) -> Database:
+        """The current committed state (never sees in-flight transactions)."""
+        return self.store.committed_snapshot()
+
+    def invariant_holds(self) -> bool:
+        """Do all constraints hold on the committed state?"""
+        state = self.snapshot()
+        return all(c.holds(state, self.signature) for c in self.constraints)
+
+    # -- the client entry point ------------------------------------------------------
+
+    def execute(
+        self,
+        work: Work,
+        template: Optional[str] = None,
+        params: Tuple = (),
+        tag: Optional[object] = None,
+    ) -> TxnOutcome:
+        """Run one client transaction to a final outcome (thread-safe).
+
+        ``work`` is either a callable taking a :class:`SnapshotTransaction`
+        (the tracked API — precise conflict detection) or a paper-style
+        :class:`Transaction` (opaque reads — validated conservatively).
+        ``template``/``params`` name a registered admission template; without
+        them every constraint is checked at runtime.
+
+        Conflicts are retried internally against fresh snapshots; after
+        ``max_retries`` optimistic rounds the transaction is executed by the
+        group-commit leader inside the critical section, so this method
+        always terminates with a definitive outcome (or raises
+        :class:`ServiceError` on timeout).
+        """
+        if isinstance(work, Transaction):
+            transaction = work
+            if template is None and not params:
+                # auto-adopt the transaction's registered verdicts only when
+                # they are all static: guarded verdicts need the instance
+                # parameters to build their guard, which a bare Transaction
+                # does not carry — those run with runtime verification unless
+                # the caller passes template/params explicitly
+                verdicts = self.admission.verdicts_for(transaction.name)
+                if verdicts and all(v.mode == "static" for v in verdicts.values()):
+                    template = transaction.name
+            work = lambda handle: handle.apply(transaction)  # noqa: E731
+        self.stats.add(submitted=1)
+        attempts = 0
+        while True:
+            attempts += 1
+            serial = attempts > self.max_retries
+            if serial:
+                self.stats.add(serial_fallbacks=1)
+                request = _CommitRequest(
+                    None, Delta(), template, params, work, True, tag
+                )
+            else:
+                handle = self.begin()
+                try:
+                    work(handle)
+                except TransactionAbortedSignal as exc:
+                    self.stats.add(rejected=1)
+                    return TxnOutcome("rejected", str(exc), attempts=attempts)
+                delta = handle.delta()
+                if delta.is_empty() and not handle.reads.opaque:
+                    # a read-only transaction is serializable at its snapshot
+                    # point; nothing to validate, nothing to apply
+                    self.stats.add(committed=1, read_only_commits=1)
+                    return TxnOutcome(
+                        "committed", version=handle.version, attempts=attempts
+                    )
+                request = _CommitRequest(
+                    handle, delta, template, params, work, False, tag
+                )
+            self._submit_and_wait(request)
+            if request.status == "conflict":
+                self.stats.add(conflicts=1, retries=1)
+                continue
+            self.stats.add(**{request.status: 1})
+            return TxnOutcome(
+                request.status, request.reason, request.version, attempts
+            )
+
+    # -- the group-commit pipeline ---------------------------------------------------
+
+    def _submit_and_wait(self, request: _CommitRequest) -> None:
+        """Enqueue ``request`` and drive/await the group-commit leader."""
+        with self._queue_lock:
+            self._queue.append(request)
+        deadline = time.monotonic() + self.commit_timeout
+        while not request.done.is_set():
+            if time.monotonic() > deadline:
+                self._give_up(request)
+                return
+            if self._commit_lock.acquire(blocking=False):
+                try:
+                    self._drain()
+                finally:
+                    self._commit_lock.release()
+                continue  # our request was either drained by us or re-queued
+            request.done.wait(timeout=0.002)
+
+    def _give_up(self, request: _CommitRequest) -> None:
+        """Abandon a timed-out request without leaving a ghost commit behind.
+
+        If the request is still queued it is withdrawn (no leader will ever
+        see it) and the timeout raises.  If a leader already took it, its
+        fate is decided — ``_drain`` guarantees ``done`` is eventually set
+        even when the leader fails — so wait one more grace period for the
+        definitive outcome instead of reporting a failure for a transaction
+        that may well have committed.
+        """
+        with self._queue_lock:
+            try:
+                self._queue.remove(request)
+                withdrawn = True
+            except ValueError:
+                withdrawn = False
+        if withdrawn:
+            raise ServiceError(
+                f"commit timed out after {self.commit_timeout:.1f}s "
+                "(deadlocked or overloaded leader)"
+            )
+        if not request.done.wait(timeout=self.commit_timeout):
+            raise ServiceError(
+                f"commit timed out after {2 * self.commit_timeout:.1f}s "
+                "with the request already taken by a leader"
+            )
+
+    def _drain(self) -> None:
+        """Leader body: validate, admit, compose and apply one batch (locked).
+
+        No request may be left hanging: a failure inside one request's
+        validation, guard or constraint work is attributed to *that* request
+        (an ``aborted`` outcome carrying the error), and the ``finally``
+        block marks anything still pending and wakes every waiter even when
+        the leader itself blows up mid-batch.
+        """
+        with self._queue_lock:
+            batch = list(self._queue)
+            self._queue.clear()
+        if not batch:
+            return
+        try:
+            _version, current = self.store.pin()
+            running = current
+            batch_delta = Delta()
+            survivors: List[_CommitRequest] = []
+            for request in batch:
+                try:
+                    effective = self._process(request, running, batch_delta)
+                except Exception as exc:  # noqa: BLE001 - one bad txn must not sink the batch
+                    request.status = "aborted"
+                    request.reason = f"transaction failed: {exc!r}"
+                    continue
+                if effective is None:
+                    continue
+                survivors.append(request)
+                if not effective.is_empty():
+                    running = running.apply_delta(effective)
+                    batch_delta = batch_delta.then(effective)
+            if not batch_delta.is_empty():
+                self.store.begin()
+                try:
+                    self.store.apply_delta(batch_delta)
+                    self.store.commit_unchecked()
+                except BaseException:
+                    if self.store.in_transaction:
+                        self.store.rollback()
+                    raise
+                self.snapshots.record(self.store.version, batch_delta)
+                # the amortization metric: committed writers per store apply
+                # (conflicted/rejected/aborted requests are not part of the
+                # batch the store paid for, and drains that applied nothing
+                # are not batches)
+                self.stats.saw_batch(len(survivors))
+            new_version = self.store.version
+            for request in survivors:
+                request.status = "committed"
+                request.version = new_version
+                if request.tag is not None:
+                    self.commit_log.append(request.tag)
+        finally:
+            for request in batch:
+                if request.status == "pending":
+                    request.status = "aborted"
+                    request.reason = "group-commit leader failed mid-batch"
+                request.done.set()
+
+    def _process(
+        self, request: _CommitRequest, running: Database, batch_delta: Delta
+    ) -> Optional[Delta]:
+        """Validate and admission-check one request against the running state.
+
+        Returns the request's effective delta (to fold into the batch) when
+        it commits, ``None`` otherwise — with ``request.status`` set to the
+        conflict/rejection/abort it suffered.
+        """
+        if request.serial:
+            handle = SnapshotTransaction(
+                running, -1, self.signature, self.backend
+            )
+            try:
+                request.work(handle)
+            except TransactionAbortedSignal as exc:
+                request.status, request.reason = "rejected", str(exc)
+                return None
+            delta = handle.delta()
+        else:
+            foreign = self.snapshots.foreign_delta(request.handle.version)
+            if foreign is None:
+                request.status = "conflict"
+                request.reason = "snapshot fell out of the validation window"
+                return None
+            reason = validate(
+                request.handle.reads,
+                request.delta,
+                foreign.then(batch_delta),
+                request.handle.base,
+                self.signature,
+                self.backend,
+            )
+            if reason is not None:
+                request.status, request.reason = "conflict", reason
+                return None
+            delta = request.delta
+
+        verdicts = self.admission.verdicts_for(request.template)
+        runtime_checks: List[Constraint] = []
+        for constraint in self.constraints:
+            verdict = verdicts.get(constraint.name) if verdicts else None
+            mode = verdict.mode if verdict is not None else "runtime"
+            if mode == "static":
+                self.stats.add(static_skips=1)
+                continue
+            if mode == "guarded":
+                guard = self.admission.guard_for(
+                    request.template, constraint, request.params
+                )
+                self.stats.add(guard_checks=1)
+                ok = (
+                    self.backend.evaluate(guard, running, signature=self.signature)
+                    if isinstance(guard, Formula)
+                    else guard.holds(running)
+                )
+                if not ok:
+                    request.status = "rejected"
+                    request.reason = f"guard of {constraint.name!r} failed on the pre-state"
+                    return None
+                continue
+            runtime_checks.append(constraint)
+
+        effective = delta.normalized(running)
+        if runtime_checks and not effective.is_empty():
+            candidate = running.apply_delta(effective)
+            for constraint in runtime_checks:
+                self.stats.add(runtime_checks=1)
+                if not constraint.holds(candidate, self.signature):
+                    request.status = "aborted"
+                    request.reason = f"constraint {constraint.name!r} violated"
+                    return None
+        return effective
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionService(store={self.store!r}, "
+            f"constraints={[c.name for c in self.constraints]})"
+        )

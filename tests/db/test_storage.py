@@ -33,6 +33,84 @@ class TestBasics:
         assert set(store.scan("E")) == {(1, 2), (2, 3)}
 
 
+class TestReadYourOwnWrites:
+    """Reads during an open transaction must see the open write log."""
+
+    def test_scan_and_contains_see_open_writes(self, store):
+        store.begin()
+        store.insert("E", (3, 4))
+        store.delete("E", (1, 2))
+        assert store.contains("E", (3, 4))
+        assert not store.contains("E", (1, 2))
+        assert set(store.scan("E")) == {(2, 3), (3, 4)}
+        assert store.cardinality("E") == 2
+        store.rollback()
+        # after rollback the committed state is untouched
+        assert set(store.scan("E")) == {(1, 2), (2, 3)}
+
+    def test_snapshot_is_tentative_inside_transaction(self, store):
+        store.begin()
+        store.insert("E", (3, 4))
+        assert store.snapshot() == Database.graph([(1, 2), (2, 3), (3, 4)])
+        store.rollback()
+        assert store.snapshot() == Database.graph([(1, 2), (2, 3)])
+
+    def test_committed_snapshot_never_sees_open_log(self, store):
+        store.begin()
+        store.insert("E", (3, 4))
+        assert store.committed_snapshot() == Database.graph([(1, 2), (2, 3)])
+        store.commit()
+        assert store.committed_snapshot() == Database.graph([(1, 2), (2, 3), (3, 4)])
+
+    def test_reinsert_of_own_delete_folds(self, store):
+        store.begin()
+        store.delete("E", (1, 2))
+        assert not store.contains("E", (1, 2))
+        store.insert("E", (1, 2))
+        assert store.contains("E", (1, 2))
+        store.commit()
+        assert store.snapshot() == Database.graph([(1, 2), (2, 3)])
+
+
+class TestVersionPinning:
+    def test_version_advances_per_effective_commit(self, store):
+        v0 = store.version
+        store.begin(); store.insert("E", (3, 4)); store.commit()
+        assert store.version == v0 + 1
+        store.begin(); store.commit()          # empty transaction
+        assert store.version == v0 + 1
+        store.begin(); store.insert("E", (4, 5)); store.rollback()
+        assert store.version == v0 + 1
+
+    def test_cancelling_writes_do_not_advance_version(self, store):
+        v0 = store.version
+        store.begin()
+        store.insert("E", (7, 8))
+        store.delete("E", (7, 8))   # net effect: nothing
+        store.commit()
+        assert store.version == v0
+        assert store.snapshot() == Database.graph([(1, 2), (2, 3)])
+
+    def test_pin_is_stable_while_writer_progresses(self, store):
+        version, snapshot = store.pin()
+        store.begin()
+        store.insert("E", (9, 9))
+        # the pinned snapshot is immutable and pre-transaction
+        assert snapshot == Database.graph([(1, 2), (2, 3)])
+        assert store.pin()[0] == version
+        store.commit()
+        new_version, new_snapshot = store.pin()
+        assert new_version == version + 1
+        assert new_snapshot == Database.graph([(1, 2), (2, 3), (9, 9)])
+
+    def test_pinned_snapshots_chain_provenance(self, store):
+        _version, before = store.pin()
+        store.begin(); store.insert("E", (5, 6)); store.commit()
+        _version, after = store.pin()
+        link = after.provenance_step()
+        assert link is not None and link[0] is before
+
+
 class TestTransactions:
     def test_commit_applies_writes(self, store):
         store.begin()
