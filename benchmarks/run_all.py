@@ -49,15 +49,16 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13", "e15", "e16")
+QUICK = ("e09", "e12", "e13", "e15", "e16", "e17")
 # per-experiment extra backends beyond the requested ones: the update-stream
 # experiment A/Bs the compiled engine with delta evaluation off, so the
 # trajectory records the incremental win (``delta_speedup``) explicitly
 EXTRA_BACKENDS = {"e15": ("compiled-nodelta",)}
 # per-experiment backend restriction: the service experiment compares the
-# concurrent pipeline against a serial baseline *inside* one process — the
+# concurrent pipeline against a serial baseline *inside* one process, and
+# the sharded experiment sweeps its own shard-count matrix internally — the
 # naive interpreter plays no role and would only burn the timeout
-ONLY_BACKENDS = {"e16": ("compiled",)}
+ONLY_BACKENDS = {"e16": ("compiled",), "e17": ("compiled",)}
 
 
 def discover() -> dict:

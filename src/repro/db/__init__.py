@@ -42,6 +42,14 @@ from .graph import (
     two_branch_tree,
     weakly_connected,
 )
+from .sharding import (
+    DEFAULT_SHARDS,
+    SHARDS_ENV,
+    ShardedDatabase,
+    shard_of,
+    shards_from_env,
+    split_delta,
+)
 from .storage import Store, StorageError, TransactionAborted, TransactionStats, WriteOp
 
 __all__ = [
@@ -82,6 +90,12 @@ __all__ = [
     "transitive_closure",
     "two_branch_tree",
     "weakly_connected",
+    "DEFAULT_SHARDS",
+    "SHARDS_ENV",
+    "ShardedDatabase",
+    "shard_of",
+    "shards_from_env",
+    "split_delta",
     "Store",
     "StorageError",
     "TransactionAborted",

@@ -307,7 +307,9 @@ class Database:
             deleted = delta.deleted.get(name, _EMPTY_ROWS)
             # normalized: deleted is a subset of the old rows, inserted is disjoint
             relations[name] = (relations[name] - deleted) | inserted
-        child = Database._from_validated(self._schema, relations)
+        # type(self), not Database: subclasses (the sharded database) stay
+        # closed under functional updates and finish via _derive_from_parent
+        child = type(self)._from_validated(self._schema, relations)
         # hash indexes: share the untouched ones, clone-and-patch the rest
         for (name, columns), index in self._indexes.items():
             if name not in touched:
@@ -371,7 +373,16 @@ class Database:
             if parent_ref() is not None:
                 skip = (parent_ref, to_self.then(delta))
         child._delta_skip = skip
+        child._derive_from_parent(self, delta)
         return child
+
+    def _derive_from_parent(self, parent: "Database", delta: "Delta") -> None:
+        """Subclass hook: finish a child produced by :meth:`apply_delta`.
+
+        Called with the (normalized, non-empty) delta after every cache has
+        been patched; the sharded database uses it to advance its per-shard
+        decomposition in O(|delta|).
+        """
 
     def with_relation(
         self, name: str, rows: Iterable[Sequence[object]]

@@ -47,6 +47,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 from .database import Database
 from .delta import Delta
 from .schema import Schema
+from .sharding import ShardedDatabase
 
 __all__ = [
     "StorageError",
@@ -155,9 +156,20 @@ class Store:
     anchor the MVCC service hands to concurrently running transactions.
     """
 
-    def __init__(self, schema: Schema, initial: Optional[Database] = None):
+    def __init__(
+        self,
+        schema: Schema,
+        initial: Optional[Database] = None,
+        *,
+        shards: Optional[int] = None,
+    ):
         self._lock = threading.RLock()
         self._schema = schema
+        # shard count for materialised snapshots: snapshots come out as
+        # ShardedDatabase (hash-partitioned), and since apply_delta preserves
+        # shardedness, the whole MVCC version chain stays sharded — the
+        # group-commit batch delta is split per shard on application
+        self._shards = shards
         # committed rows only — an open transaction's writes live in the log
         self._data: Dict[str, Set[Row]] = {name: set() for name in schema.relation_names}
         # the last materialised committed snapshot plus the committed writes
@@ -172,6 +184,8 @@ class Store:
                 raise StorageError("initial database has a different schema")
             for name in schema.relation_names:
                 self._data[name] = set(initial.relation(name))
+            if shards is not None and not isinstance(initial, ShardedDatabase):
+                initial = ShardedDatabase.from_database(initial, shards)
             self._snapshot = initial
         self._log: Optional[List[WriteOp]] = None
         # net overlay of the open log, per relation (kept in sync with _log
@@ -206,8 +220,11 @@ class Store:
         """
         with self._lock:
             if self._snapshot is None:
-                self._snapshot = Database(
-                    self._schema, {k: list(v) for k, v in self._data.items()}
+                relations = {k: list(v) for k, v in self._data.items()}
+                self._snapshot = (
+                    ShardedDatabase(self._schema, relations, self._shards)
+                    if self._shards is not None
+                    else Database(self._schema, relations)
                 )
                 self._since_snapshot.clear()
             elif self._since_snapshot:

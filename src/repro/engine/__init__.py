@@ -15,7 +15,10 @@ Quick orientation:
 * :mod:`repro.engine.backend` — :class:`NaiveBackend` (the original recursive
   interpreter, kept as the semantics oracle) and :class:`CompiledBackend`
   (plans + per-``(formula, db)`` memo), plus the process-global active
-  backend selected by ``REPRO_BACKEND``.
+  backend selected by ``REPRO_BACKEND``;
+* :mod:`repro.engine.parallel` — :class:`ShardedBackend`: per-shard plan
+  execution over hash-partitioned databases (co-partitioned/broadcast joins,
+  partial aggregation, shard-level result caches), ``REPRO_SHARDS`` knob.
 """
 
 from .plan import (
@@ -54,6 +57,7 @@ from .backend import (
     set_backend,
     using_backend,
 )
+from .parallel import ShardedBackend
 
 __all__ = [
     "Antijoin",
@@ -84,6 +88,7 @@ __all__ = [
     "Backend",
     "CompiledBackend",
     "NaiveBackend",
+    "ShardedBackend",
     "active_backend",
     "backend_from_name",
     "set_backend",

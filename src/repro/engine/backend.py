@@ -341,9 +341,13 @@ class CompiledBackend(Backend):
         rows = None
         if self.delta_mode != "off":
             rows = self._incremental_extension(plan, db, memo_key, ctx)
+        return self._finish_extension(plan, db, memo_key, ctx, memo, rows)
+
+    def _finish_extension(self, plan, db, memo_key, ctx, memo, rows):
+        """Full execution (when the incremental path declined) plus memoing."""
         if rows is None:
             try:
-                rows = plan.rows(ctx)
+                rows = self._execute_plan(plan, ctx)
             except (DatabaseError, SignatureError) as exc:
                 # match the interpreter's error contract (missing relations or
                 # Omega symbols surface as EvaluationError)
@@ -351,9 +355,17 @@ class CompiledBackend(Backend):
 
                 raise EvaluationError(str(exc)) from exc
             if self.delta_mode != "off":
-                self._remember_state(db, memo_key, PlanState(dict(ctx.cache)))
+                self._remember_state(db, memo_key, self._plan_state_from(ctx))
         memo.put(memo_key, rows)
         return set(rows)
+
+    def _execute_plan(self, plan: Plan, ctx: ExecutionContext) -> frozenset:
+        """Full (non-incremental) plan execution — the sharded backend's hook."""
+        return plan.rows(ctx)
+
+    def _plan_state_from(self, ctx: ExecutionContext) -> PlanState:
+        """The rememberable node-level state of a full execution (hook)."""
+        return PlanState(dict(ctx.cache))
 
     # -- incremental (delta) evaluation -----------------------------------------
 
@@ -483,7 +495,7 @@ class CompiledBackend(Backend):
 # ---------------------------------------------------------------------------
 
 #: Names accepted by :func:`backend_from_name` (and ``REPRO_BACKEND``).
-BACKEND_NAMES = ("naive", "compiled", "compiled-delta", "compiled-nodelta")
+BACKEND_NAMES = ("naive", "compiled", "compiled-delta", "compiled-nodelta", "sharded")
 
 
 def backend_from_name(name: str) -> Backend:
@@ -492,6 +504,8 @@ def backend_from_name(name: str) -> Backend:
     ``compiled-delta`` / ``compiled-nodelta`` are the compiled engine with
     incremental delta evaluation forced on / off regardless of
     ``REPRO_DELTA`` (the benchmarks use them to A/B the update fast path).
+    ``sharded`` is the hash-partitioned parallel engine; its shard count
+    comes from ``REPRO_SHARDS`` (default 4).
     """
     normalized = name.strip().lower()
     if normalized in ("naive", "interpreter", "model"):
@@ -502,6 +516,10 @@ def backend_from_name(name: str) -> Backend:
         return CompiledBackend(delta="on")
     if normalized == "compiled-nodelta":
         return CompiledBackend(delta="off")
+    if normalized in ("sharded", "parallel"):
+        from .parallel import ShardedBackend
+
+        return ShardedBackend()
     raise ValueError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
     )

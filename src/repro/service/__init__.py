@@ -49,6 +49,8 @@ from .snapshots import (
     validate,
 )
 from .workloads import (
+    SEED_ENV,
+    default_seed,
     NO_LOOPS,
     NO_TRIANGLES,
     SCENARIOS,
@@ -79,6 +81,8 @@ __all__ = [
     "NO_LOOPS",
     "NO_TRIANGLES",
     "SCENARIOS",
+    "SEED_ENV",
+    "default_seed",
     "WorkItem",
     "WorkloadReport",
     "build_service",

@@ -176,12 +176,20 @@ class TransactionService:
         backend: Optional[Backend] = None,
         history_limit: int = 1024,
     ):
+        self.backend = backend if backend is not None else active_backend()
         if isinstance(store, Database):
-            store = Store(store.schema, store)
+            # under a sharded backend the canonical store materialises
+            # hash-partitioned snapshots: every pinned version is a
+            # ShardedDatabase, and the group-commit batch delta splits into
+            # one composed sub-delta per shard when it is applied
+            store = Store(
+                store.schema,
+                store,
+                shards=getattr(self.backend, "num_shards", None),
+            )
         self.store = store
         self.constraints = list(constraints)
         self.signature = signature
-        self.backend = backend if backend is not None else active_backend()
         self.admission = admission if admission is not None else AdmissionController(
             self.constraints, signature
         )

@@ -28,6 +28,7 @@ execution) rather than re-measuring PR-2's delta rules.
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -49,6 +50,8 @@ __all__ = [
     "NO_LOOPS",
     "NO_TRIANGLES",
     "SCENARIOS",
+    "SEED_ENV",
+    "default_seed",
     "WorkItem",
     "WorkloadReport",
     "standard_templates",
@@ -73,6 +76,21 @@ NO_TRIANGLES = _parse()(
 )
 
 SCENARIOS = ("read-heavy", "write-heavy", "constraint-heavy", "mixed")
+
+#: environment knob: the workload seed (set by ``benchmarks/run_all.py --seed``
+#: and by the test harness, so a failing run can be replayed exactly)
+SEED_ENV = "REPRO_SEED"
+
+
+def default_seed(fallback: int = 0) -> int:
+    """The stream seed selected by ``REPRO_SEED`` (default ``fallback``)."""
+    raw = os.environ.get(SEED_ENV, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        return fallback
 
 #: operation mix per scenario: (read, link-forward, unlink, add-edge) weights
 _MIXES: Dict[str, Tuple[float, float, float, float]] = {
@@ -211,9 +229,15 @@ def build_service(
     ``build_service`` calls — one per test, one per benchmark phase — pay for
     admission verdicts exactly once.
     """
+    from ..engine.backend import active_backend
+
     admission, constraints = _standard_admission()
+    backend = active_backend()
+    store = Store(
+        GRAPH_SCHEMA, initial, shards=getattr(backend, "num_shards", None)
+    )
     return TransactionService(
-        Store(GRAPH_SCHEMA, initial),
+        store,
         constraints,
         admission=admission,
         max_retries=max_retries,
@@ -305,9 +329,15 @@ def build_streams(
     clients: int,
     ops_per_client: int,
     accounts: int,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> List[List[WorkItem]]:
-    """Per-client operation streams for ``scenario``, fully seed-determined."""
+    """Per-client operation streams for ``scenario``, fully seed-determined.
+
+    ``seed`` defaults to ``REPRO_SEED`` (then 0), so the exact streams of a
+    failing CI run or benchmark reproduce from its recorded seed.
+    """
+    if seed is None:
+        seed = default_seed()
     if scenario not in _MIXES:
         raise ServiceError(f"unknown scenario {scenario!r}; have {SCENARIOS}")
     read_w, link_w, unlink_w, add_w = _MIXES[scenario]

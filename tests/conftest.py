@@ -1,14 +1,56 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and reproducibility plumbing for the test suite.
 
-The fixtures precompute the small exhaustive graph families that many tests
-sweep over, so that the (exponential) enumerations are done once per session.
+Three jobs live here:
+
+* session fixtures precomputing the small exhaustive graph families many
+  tests sweep over (the exponential enumerations run once per session);
+* hypothesis profiles threading ``REPRO_SEED`` into every generator-driven
+  test (see ``tests/strategies.py``, the shared generator library) — set
+  ``HYPOTHESIS_PROFILE=ci`` for the larger CI sweep, ``dev`` for a quick
+  local pass;
+* failure reporting: every failing test gets a ``repro configuration``
+  section naming the active seed, backend, shard count and delta mode, so a
+  flake from one leg of the backend matrix can be replayed exactly.
 """
 
 from __future__ import annotations
 
-import pytest
+import os
+import sys
 
-from repro.db import (
+import pytest
+from hypothesis import HealthCheck, settings
+
+# the shared generator library lives next to this conftest; make it
+# importable as ``strategies`` from every test package
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from strategies import config_text  # noqa: E402
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile("default", max_examples=60, **_COMMON)
+settings.register_profile("dev", max_examples=15, **_COMMON)
+settings.register_profile("ci", max_examples=120, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+def pytest_report_header(config):
+    return config_text()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(("repro configuration", config_text()))
+
+
+from repro.db import (  # noqa: E402
     all_graphs,
     all_graphs_up_to_iso,
     chain,

@@ -1,0 +1,252 @@
+"""Unit tests for the hash-partitioned sharded database layer."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.db import (
+    Database,
+    DatabaseError,
+    Delta,
+    GRAPH_SCHEMA,
+    RelationSchema,
+    Schema,
+    ShardedDatabase,
+    Store,
+    chain,
+    random_graph,
+    shard_of,
+    shards_from_env,
+    split_delta,
+)
+
+LEDGER = Schema(
+    [
+        RelationSchema("Account", 1),
+        RelationSchema("Owner", 2),
+        RelationSchema("Balance", 2),
+    ]
+)
+
+
+class TestRouting:
+    def test_routing_is_stable_and_in_range(self):
+        for value in (0, 1, 2, "alice", ("a", 1), None):
+            for n in (1, 2, 4, 7):
+                index = shard_of(value, n)
+                assert 0 <= index < n
+                assert index == shard_of(value, n)  # deterministic
+
+    def test_single_shard_routes_everything_to_zero(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_cross_type_equal_values_route_identically(self):
+        """Row equality is Python equality: 0 == 0.0 == False-adjacent types
+        must share a home shard, or deltas routed by one spelling would miss
+        rows stored under the other."""
+        big = 2**62  # past the 2**61-1 boundary where hash(int) reduces
+        for n in (2, 3, 4, 7):
+            assert shard_of(0, n) == shard_of(0.0, n)
+            assert shard_of(1, n) == shard_of(True, n)
+            assert shard_of(0, n) == shard_of(False, n)
+            assert shard_of(2, n) == shard_of(2.0, n)
+            assert shard_of(big, n) == shard_of(float(big), n)
+            assert shard_of((1, "a"), n) == shard_of((1.0, "a"), n)
+            assert shard_of(frozenset({1, 2}), n) == shard_of(
+                frozenset({2.0, 1.0}), n
+            )
+
+    def test_cross_type_equal_rows_delete_cleanly(self):
+        db = ShardedDatabase.graph([(0.0, 2)], num_shards=4)
+        db.shards  # materialise so the delta takes the incremental path
+        emptied = db.delete("E", (0, 2))
+        assert emptied.is_empty()
+        assert all(s.is_empty() for s in emptied.shards)
+
+    def test_split_delta_partitions_by_first_column(self):
+        delta = Delta(
+            inserted={"E": [(0, 1), (1, 2), (2, 3)]},
+            deleted={"E": [(3, 4)]},
+        )
+        parts = split_delta(delta, 4)
+        seen = Delta()
+        for index, sub in parts.items():
+            for name in sub.touched():
+                for row in sub.rows_in(name):
+                    assert shard_of(row[0], 4) == index
+            seen = seen.then(sub)
+        assert seen == delta
+
+    def test_shards_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert shards_from_env(default=3) == 3
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        assert shards_from_env() == 8
+        monkeypatch.setenv("REPRO_SHARDS", "nope")
+        with pytest.warns(RuntimeWarning):
+            assert shards_from_env(default=2) == 2
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        with pytest.warns(RuntimeWarning):
+            assert shards_from_env(default=2) == 2
+
+
+class TestPartitioning:
+    def test_partition_is_a_disjoint_cover(self):
+        db = ShardedDatabase.from_database(random_graph(12, 0.4, seed=5), 4)
+        shards = db.shards
+        assert len(shards) == 4
+        union = frozenset().union(*(s.relation("E") for s in shards))
+        assert union == db.relation("E")
+        assert sum(len(s.relation("E")) for s in shards) == len(db.relation("E"))
+        for index, shard in enumerate(shards):
+            for row in shard.relation("E"):
+                assert shard_of(row[0], 4) == index
+
+    def test_merged_view_equals_plain_database(self):
+        plain = chain(9)
+        sharded = ShardedDatabase.graph(plain.edges, num_shards=3)
+        assert sharded == plain
+        assert hash(sharded) == hash(plain)
+        assert sharded.active_domain == plain.active_domain
+        assert sharded.canonical_key() == plain.canonical_key()
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(DatabaseError):
+            ShardedDatabase(GRAPH_SCHEMA, {}, num_shards=0)
+
+    def test_from_database_is_idempotent_on_matching_count(self):
+        sharded = ShardedDatabase.graph(chain(4).edges, num_shards=2)
+        assert ShardedDatabase.from_database(sharded, 2) is sharded
+        rewrapped = ShardedDatabase.from_database(sharded, 4)
+        assert rewrapped.num_shards == 4
+        assert rewrapped == sharded
+
+    def test_multi_relation_schema_partitions_every_relation(self):
+        db = ShardedDatabase(
+            LEDGER,
+            {
+                "Account": [(i,) for i in range(10)],
+                "Owner": [(i, f"u{i}") for i in range(10)],
+                "Balance": [(i, 100 * i) for i in range(10)],
+            },
+            num_shards=4,
+        )
+        # co-partitioning: every relation's rows about account i live on the
+        # same shard — the invariant co-partitioned joins rely on
+        for i in range(10):
+            home = db.shard_index("Account", (i,))
+            assert db.shard_index("Owner", (i, f"u{i}")) == home
+            assert db.shard_index("Balance", (i, 100 * i)) == home
+            shard = db.shards[home]
+            assert (i,) in shard.relation("Account")
+            assert (i, f"u{i}") in shard.relation("Owner")
+
+    def test_shard_sizes_sum_to_cardinality(self):
+        db = ShardedDatabase.from_database(random_graph(10, 0.5, seed=2), 4)
+        assert sum(db.shard_sizes()) == db.cardinality()
+
+
+class TestFunctionalUpdates:
+    def test_apply_delta_preserves_shardedness_and_shares_untouched(self):
+        base = ShardedDatabase.from_database(random_graph(12, 0.4, seed=9), 4)
+        base.shards  # materialise the decomposition
+        delta = Delta.insertion("E", (0, 99))
+        child = base.apply_delta(delta)
+        assert isinstance(child, ShardedDatabase)
+        assert child.num_shards == 4
+        touched = shard_of(0, 4)
+        for index, (before, after) in enumerate(zip(base.shards, child.shards)):
+            if index == touched:
+                assert before is not after
+                assert (0, 99) in after.relation("E")
+            else:
+                assert before is after
+
+    def test_touched_shard_keeps_its_own_provenance(self):
+        base = ShardedDatabase.from_database(chain(8), 4)
+        base.shards
+        child = base.apply_delta(Delta.insertion("E", (0, 99)))
+        touched = shard_of(0, 4)
+        link = child.shards[touched].delta_base()
+        assert link is not None
+        parent, step = link
+        assert parent is base.shards[touched]
+        assert step.inserted["E"] == frozenset({(0, 99)})
+
+    def test_insert_delete_union_difference_stay_sharded(self):
+        db = ShardedDatabase.from_database(chain(5), 2)
+        assert isinstance(db.insert("E", (7, 8)), ShardedDatabase)
+        assert isinstance(db.delete("E", (0, 1)), ShardedDatabase)
+        other = Database.graph([(7, 8)])
+        assert isinstance(db.union(other), ShardedDatabase)
+        assert isinstance(db.difference(other), ShardedDatabase)
+
+    def test_lazy_parent_stays_lazy_and_rebuilds_correctly(self):
+        base = ShardedDatabase.from_database(chain(6), 4)
+        # no .shards access on base: the child partitions on demand
+        child = base.apply_delta(Delta.insertion("E", (5, 6)))
+        shards = child.shards
+        union = frozenset().union(*(s.relation("E") for s in shards))
+        assert union == child.relation("E")
+
+    def test_map_domain_reshards(self):
+        db = ShardedDatabase.from_database(chain(4), 4)
+        renamed = db.map_domain({i: i + 100 for i in range(5)})
+        assert isinstance(renamed, ShardedDatabase)
+        assert renamed.num_shards == 4
+        for index, shard in enumerate(renamed.shards):
+            for row in shard.relation("E"):
+                assert shard_of(row[0], 4) == index
+
+    def test_restrict_domain_reshards(self):
+        db = ShardedDatabase.from_database(chain(6), 4)
+        restricted = db.restrict_domain(range(4))
+        assert isinstance(restricted, ShardedDatabase)
+        assert restricted == chain(6).restrict_domain(range(4))
+
+
+class TestShardedStore:
+    def test_snapshots_are_sharded_and_chain(self):
+        store = Store(GRAPH_SCHEMA, chain(6), shards=4)
+        first = store.committed_snapshot()
+        assert isinstance(first, ShardedDatabase)
+        store.begin()
+        store.insert("E", (0, 50))
+        store.commit_unchecked()
+        second = store.committed_snapshot()
+        assert isinstance(second, ShardedDatabase)
+        assert second.contains("E", (0, 50))
+        link = second.delta_base()
+        assert link is not None and link[0] is first
+
+    def test_store_without_initial_materialises_sharded(self):
+        store = Store(GRAPH_SCHEMA, shards=2)
+        store.begin()
+        store.insert("E", (1, 2))
+        store.commit_unchecked()
+        snapshot = store.committed_snapshot()
+        assert isinstance(snapshot, ShardedDatabase)
+        assert snapshot.num_shards == 2
+
+    def test_plain_store_is_unchanged(self):
+        store = Store(GRAPH_SCHEMA, chain(3))
+        assert not isinstance(store.committed_snapshot(), ShardedDatabase)
+
+
+class TestInterningPrerequisites:
+    """Content-equality behaviours the backend's shard interning relies on."""
+
+    def test_content_equal_shards_hash_alike_after_rebuild(self):
+        a = ShardedDatabase.from_database(random_graph(10, 0.4, seed=3), 4)
+        b = ShardedDatabase.from_database(random_graph(10, 0.4, seed=3), 4)
+        for left, right in zip(a.shards, b.shards):
+            assert left == right and hash(left) == hash(right)
+
+    def test_shards_survive_parent_collection(self):
+        db = ShardedDatabase.from_database(chain(5), 2)
+        shards = db.shards
+        del db
+        gc.collect()
+        assert frozenset().union(*(s.relation("E") for s in shards))

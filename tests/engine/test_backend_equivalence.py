@@ -20,91 +20,22 @@ from repro.db import Database, chain, cycle, random_graph
 from repro.engine import CompiledBackend, NaiveBackend
 from repro.logic import arithmetic_signature, parse
 from repro.logic.syntax import (
-    And,
     Atom,
     BOTTOM,
     CountingExists,
     Eq,
     Exists,
     Forall,
-    Iff,
-    Implies,
-    InterpretedAtom,
-    Not,
     Or,
     TOP,
 )
 
+# the grammar-based generators are shared with the conformance and property
+# suites — see tests/strategies.py
+from strategies import CONSTANTS, VARIABLES, formulas, graphs
+
 NAIVE = NaiveBackend()
 COMPILED = CompiledBackend()
-
-VARIABLES = ("x", "y", "z")
-# constants 0..3 can be active; 7 and "ghost" never occur in generated graphs
-CONSTANTS = (0, 1, 2, 3, 7, "ghost")
-
-
-def terms():
-    return st.one_of(
-        st.sampled_from(VARIABLES),
-        st.sampled_from(CONSTANTS).map(lambda c: ("const", c)),
-    )
-
-
-def _mk_term(spec):
-    if isinstance(spec, tuple) and spec[0] == "const":
-        from repro.logic.terms import Const
-
-        return Const(spec[1])
-    return spec  # a variable name; Atom/Eq coerce strings to Var
-
-
-def atoms():
-    return st.tuples(terms(), terms()).map(
-        lambda pair: Atom("E", _mk_term(pair[0]), _mk_term(pair[1]))
-    )
-
-
-def equalities():
-    return st.tuples(terms(), terms()).map(
-        lambda pair: Eq(_mk_term(pair[0]), _mk_term(pair[1]))
-    )
-
-
-def base_formulas():
-    return st.one_of(
-        atoms(),
-        equalities(),
-        st.just(TOP),
-        st.just(BOTTOM),
-    )
-
-
-def formulas(max_depth: int = 3):
-    return st.recursive(
-        base_formulas(),
-        lambda children: st.one_of(
-            children.map(Not),
-            st.tuples(children, children).map(lambda p: And(*p)),
-            st.tuples(children, children).map(lambda p: Or(*p)),
-            st.tuples(children, children).map(lambda p: Implies(*p)),
-            st.tuples(children, children).map(lambda p: Iff(*p)),
-            st.tuples(st.sampled_from(VARIABLES), children).map(
-                lambda p: Exists(p[0], p[1])
-            ),
-            st.tuples(st.sampled_from(VARIABLES), children).map(
-                lambda p: Forall(p[0], p[1])
-            ),
-            st.tuples(
-                st.sampled_from(VARIABLES), st.integers(0, 3), children
-            ).map(lambda p: CountingExists(p[0], p[1], p[2])),
-        ),
-        max_leaves=8,
-    )
-
-
-def graphs():
-    edge = st.tuples(st.integers(0, 3), st.integers(0, 3))
-    return st.frozensets(edge, max_size=8).map(Database.graph)
 
 
 COMMON_SETTINGS = settings(

@@ -24,11 +24,13 @@ from repro.transactions import (
 
 VARIABLES = ["x", "y"]
 
+# shared graph generator (tests/strategies.py), bounded to the small node
+# set the exhaustive wpc sweeps below can afford
+from strategies import graphs as _shared_graphs
+
 
 def graphs(max_nodes: int = 3) -> st.SearchStrategy[Database]:
-    nodes = st.integers(min_value=0, max_value=max_nodes - 1)
-    edges = st.lists(st.tuples(nodes, nodes), max_size=6)
-    return st.builds(Database.graph, edges)
+    return _shared_graphs(max_value=max_nodes - 1, max_edges=6)
 
 
 def quantifier_free(max_leaves: int = 4) -> st.SearchStrategy[Formula]:
