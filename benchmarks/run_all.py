@@ -49,16 +49,22 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13", "e15", "e16", "e17")
+QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18")
 # per-experiment extra backends beyond the requested ones: the update-stream
 # experiment A/Bs the compiled engine with delta evaluation off, so the
 # trajectory records the incremental win (``delta_speedup``) explicitly
 EXTRA_BACKENDS = {"e15": ("compiled-nodelta",)}
 # per-experiment backend restriction: the service experiment compares the
-# concurrent pipeline against a serial baseline *inside* one process, and
-# the sharded experiment sweeps its own shard-count matrix internally — the
-# naive interpreter plays no role and would only burn the timeout
-ONLY_BACKENDS = {"e16": ("compiled",), "e17": ("compiled",)}
+# concurrent pipeline against a serial baseline *inside* one process, the
+# sharded experiment sweeps its own shard-count matrix internally, and the
+# optimizer experiment times naive/unoptimized/optimized itself — the naive
+# interpreter plays no role and would only burn the timeout
+ONLY_BACKENDS = {"e16": ("compiled",), "e17": ("compiled",), "e18": ("compiled",)}
+
+#: per-experiment ratio fields gated by ``--baseline`` (a drop below
+#: ``BASELINE_TOLERANCE`` x the committed value fails the run)
+BASELINE_FIELDS = ("speedup", "delta_speedup")
+BASELINE_TOLERANCE = 0.95
 
 
 def discover() -> dict:
@@ -86,9 +92,12 @@ def run_one(path: str, backend: str, timeout: int, seed: int, jobs: int) -> dict
     """One pytest pass over one benchmark file under one backend."""
     env = dict(os.environ)
     env["REPRO_BACKEND"] = backend
-    # an inherited REPRO_DELTA would silently corrupt the delta A/B: the
-    # backend name alone must decide whether incremental evaluation is on
+    # an inherited REPRO_DELTA or REPRO_OPTIMIZER would silently corrupt
+    # the A/Bs: the backend name alone must decide what the trajectory
+    # measures (benchmarks that sweep the optimizer construct their own
+    # backends explicitly)
     env.pop("REPRO_DELTA", None)
+    env.pop("REPRO_OPTIMIZER", None)
     # reproducibility knobs: workload streams derive from the seed, the
     # service driver's thread count from the job count (E16 records both)
     env["REPRO_SEED"] = str(seed)
@@ -132,6 +141,65 @@ def run_one(path: str, backend: str, timeout: int, seed: int, jobs: int) -> dict
     }
 
 
+def find_baseline(explicit: str, exclude: str = "") -> str:
+    """Resolve ``--baseline``: a path, or ``auto`` = the most recently
+    committed ``BENCH_*.json`` in the repository root.
+
+    ``exclude`` names the file the current run writes — the run must never
+    gate against its own output.  Ordering uses per-file git commit times
+    (the CI job checks out full history so they are meaningful) and falls
+    back to filesystem mtime.
+    """
+    if explicit != "auto":
+        return explicit
+    excluded = os.path.abspath(exclude) if exclude else ""
+    candidates = [
+        path
+        for path in glob.glob(os.path.join(ROOT, "BENCH_*.json"))
+        if os.path.abspath(path) != excluded
+    ]
+    if not candidates:
+        raise SystemExit("--baseline auto: no committed BENCH_*.json found")
+
+    def commit_time(path: str) -> int:
+        try:
+            out = subprocess.run(
+                ["git", "log", "-1", "--format=%ct", "--", path],
+                cwd=ROOT, capture_output=True, text=True, check=True,
+            )
+            return int(out.stdout.strip() or 0)
+        except Exception:
+            return 0
+
+    return max(candidates, key=lambda p: (commit_time(p), os.path.getmtime(p)))
+
+
+def check_baseline(results: dict, baseline_path: str) -> list:
+    """Speedup fields that regressed below ``BASELINE_TOLERANCE`` x baseline.
+
+    Only experiments present in *both* trajectories are compared — a new
+    experiment has no baseline yet, and a retired one no current value.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    regressions = []
+    for experiment, row in baseline.get("results", {}).items():
+        current = results.get(experiment)
+        if not current:
+            continue
+        for field in BASELINE_FIELDS:
+            old = row.get(field)
+            new = current.get(field)
+            if old is None or new is None or old <= 0:
+                continue
+            if new < old * BASELINE_TOLERANCE:
+                regressions.append(
+                    f"{experiment}.{field}: {new} < {BASELINE_TOLERANCE} * "
+                    f"baseline {old}"
+                )
+    return regressions
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -164,6 +232,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o", "--output", default=None,
         help="output JSON path (default: BENCH_<rev>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed BENCH_*.json (or 'auto' for the latest committed "
+        "one) to gate against: exit non-zero when any speedup field drops "
+        f"below {BASELINE_TOLERANCE}x its baseline value",
     )
     args = parser.parse_args(argv)
 
@@ -228,6 +302,15 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote {output}")
+    if args.baseline:
+        baseline_path = find_baseline(args.baseline, exclude=output)
+        regressions = check_baseline(results, baseline_path)
+        if regressions:
+            print(f"PERF REGRESSION vs {os.path.basename(baseline_path)}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"baseline check ok vs {os.path.basename(baseline_path)}")
     return 0 if all_ok else 1
 
 

@@ -23,6 +23,7 @@ robustly verifiable language over ``FOc(Omega)``.
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set, Tuple
 
@@ -214,21 +215,61 @@ class PrerelationTransaction(Transaction):
     def __init__(self, spec: PrerelationSpec):
         self.spec = spec
         self.name = spec.name
+        # post-states per input database (weak, so sweeps retain nothing):
+        # a validation loop applies the same transaction to the same database
+        # once per (extension, constraint) cell, and returning the *same*
+        # post-state object keeps the query engine's weakly-keyed result
+        # memo hitting across cells
+        self._post_states: "weakref.WeakKeyDictionary[Database, Database]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def apply(self, db: Database) -> Database:
+        cached = self._post_states.get(db)
+        if cached is not None:
+            return cached
+        result = self._apply(db)
+        try:
+            self._post_states[db] = result
+        except TypeError:  # pragma: no cover - non-weakrefable subclass
+            pass
+        return result
+
+    def _apply(self, db: Database) -> Database:
         if db.schema != self.spec.schema:
             raise TransactionError(
                 f"prerelation {self.name!r} expects schema {self.spec.schema!r}"
             )
         gamma_values = sorted(self.spec.gamma_set(db), key=repr)
         model = Model(db, self.spec.signature)
+        active = db.active_domain
+        gamma = frozenset(gamma_values)
+        # candidate tuples entirely inside the active domain are decided
+        # set-at-a-time: one extension per relation through the query engine
+        # (with quantifiers still ranging over dom(D), exactly like the
+        # interpreter's default).  Only the boundary candidates — those
+        # touching a Gamma(D) value outside dom(D), typically the spec's
+        # constants — fall back to the tuple-at-a-time check.
+        from ..engine.backend import active_backend
+
+        backend = active_backend()
+        boundary = [value for value in gamma_values if value not in active]
         new_relations: Dict[str, Set[Tuple[object, ...]]] = {}
         for rel in self.spec.schema:
             definition = self.spec.definitions[rel.name]
             rows: Set[Tuple[object, ...]] = set()
-            for candidate in itertools.product(gamma_values, repeat=rel.arity):
-                assignment = dict(zip(definition.variables, candidate))
-                if model.check(definition.body, assignment):
+            extension = backend.extension(
+                definition.body, db, definition.variables, self.spec.signature
+            )
+            for candidate in extension:
+                if all(value in gamma for value in candidate):
                     rows.add(tuple(candidate))
+            if boundary:
+                for candidate in itertools.product(gamma_values, repeat=rel.arity):
+                    if all(value in active for value in candidate):
+                        continue  # already decided by the extension
+                    assignment = dict(zip(definition.variables, candidate))
+                    if model.check(definition.body, assignment):
+                        rows.add(tuple(candidate))
             new_relations[rel.name] = rows
         return Database(self.spec.schema, new_relations)

@@ -141,23 +141,37 @@ class WpcCalculator:
     def __init__(self, spec: PrerelationSpec):
         self.spec = spec
         self._fresh_counter = 0
+        self._wpc_memo: dict = {}
 
     # -- public API --------------------------------------------------------------
 
     def wpc(self, constraint: Formula) -> Formula:
-        """The weakest precondition of a sentence."""
+        """The weakest precondition of a sentence.
+
+        Memoised per constraint: the transformation is purely syntactic (it
+        never looks at a signature extension or a database), so validation
+        sweeps that revisit a constraint — the robustness check re-verifies
+        every constraint under every extension — get the *same* formula
+        object back, which keeps the query engine's formula-keyed caches
+        hitting by identity instead of deep structural comparison.
+        """
         if not isinstance(constraint, Formula):
             raise WpcError(
                 "the substitution algorithm needs a syntactic Formula constraint; "
                 "semantic sentences (FOcount parity, monadic Sigma-1-1) have no "
                 "general precondition here — see Theorem 3"
             )
+        cached = self._wpc_memo.get(constraint)
+        if cached is not None:
+            return cached
         if not constraint.is_sentence():
             raise WpcError("weakest preconditions are defined for sentences")
         unknown = constraint.relation_symbols() - set(self.spec.schema.relation_names)
         if unknown:
             raise WpcError(f"constraint mentions unknown relations {sorted(unknown)}")
-        return self._transform(constraint)
+        transformed = self._transform(constraint)
+        self._wpc_memo[constraint] = transformed
+        return transformed
 
     def guarded_transaction(self, constraint: Formula) -> Transaction:
         """``if wpc(T, alpha) then T else abort`` for this specification's transaction."""

@@ -63,7 +63,7 @@ class Database:
     __slots__ = (
         "_schema", "_relations", "_domain", "_domain_counts", "_hash",
         "_hash_accs", "_canonical_key", "_sorted_rows", "_indexes",
-        "_delta_base", "_delta_skip", "__weakref__",
+        "_delta_base", "_delta_skip", "_stats", "__weakref__",
     )
 
     #: skip links stop composing once the accumulated delta reaches this many
@@ -105,6 +105,7 @@ class Database:
         self._indexes: Dict[Tuple[str, Tuple[int, ...]], Mapping[Tuple_, FrozenSet[Tuple_]]] = {}
         self._delta_base: Optional[Tuple["weakref.ref[Database]", "Delta"]] = None
         self._delta_skip: Optional[Tuple["weakref.ref[Database]", "Delta"]] = None
+        self._stats = None  # lazily built DatabaseStats (see stats())
 
     # -- constructors -----------------------------------------------------------
 
@@ -163,6 +164,21 @@ class Database:
                         counts[value] = counts.get(value, 0) + 1
             self._domain_counts = counts
         return MappingProxyType(self._domain_counts)
+
+    def stats(self):
+        """Per-relation cardinality/distinct/most-common-value statistics.
+
+        Built lazily on first request (one pass over the database) and from
+        then on carried forward through :meth:`apply_delta` in O(|Δ|) —
+        see :class:`repro.engine.stats.DatabaseStats`.  The cost-based plan
+        optimizer is the consumer; databases that are never optimized
+        against never pay for statistics.
+        """
+        if self._stats is None:
+            from ..engine.stats import DatabaseStats
+
+            self._stats = DatabaseStats.from_database(self)
+        return self._stats
 
     def delta_base(self) -> Optional[Tuple["Database", "Delta"]]:
         """The ``(parent, delta)`` provenance of an :meth:`apply_delta` result.
@@ -358,6 +374,10 @@ class Database:
                     child._domain = self._domain
                 else:
                     child._domain = (self._domain | frozenset(added)) - frozenset(removed)
+        # optimizer statistics: clone-and-patch the touched relations'
+        # counters, share the rest (same discipline as every cache above)
+        if self._stats is not None:
+            child._stats = self._stats.patched(delta)
         child._delta_base = (weakref.ref(self), delta)
         # skip link: extend the parent's anchor while the composed delta stays
         # small, otherwise re-anchor at the parent itself

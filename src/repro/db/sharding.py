@@ -202,6 +202,9 @@ class ShardedDatabase(Database):
         sharded._num_shards = shards_from_env() if num_shards is None else int(num_shards)
         if sharded._num_shards < 1:
             raise DatabaseError(f"shard count must be >= 1, got {sharded._num_shards}")
+        # optimizer statistics depend only on the merged contents, which are
+        # identical — promotion must not force a from-scratch rebuild
+        sharded._stats = db._stats
         return sharded
 
     @classmethod

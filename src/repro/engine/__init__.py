@@ -40,6 +40,15 @@ from .plan import (
     UnionAll,
 )
 from .compile import CompileError, compile_extension, compile_sentence
+from .stats import ColumnStats, DatabaseStats, RelationStats
+from .optimize import (
+    Estimator,
+    OptimizerParams,
+    canonical_plan,
+    estimate_naive_cost,
+    explain_plan,
+    optimize_plan,
+)
 from .delta import (
     DeltaFallback,
     PlanState,
@@ -49,6 +58,7 @@ from .delta import (
 )
 from .backend import (
     BACKEND_NAMES,
+    OPTIMIZER_ENV,
     Backend,
     CompiledBackend,
     NaiveBackend,
@@ -79,6 +89,16 @@ __all__ = [
     "CompileError",
     "compile_extension",
     "compile_sentence",
+    "ColumnStats",
+    "DatabaseStats",
+    "RelationStats",
+    "Estimator",
+    "OptimizerParams",
+    "canonical_plan",
+    "estimate_naive_cost",
+    "explain_plan",
+    "optimize_plan",
+    "OPTIMIZER_ENV",
     "DeltaFallback",
     "PlanState",
     "incremental_update",

@@ -45,7 +45,16 @@ from ..logic.signature import EMPTY_SIGNATURE, Signature, SignatureError
 from ..logic.syntax import Formula
 from .compile import CompileError, compile_extension
 from .delta import DeltaFallback, PlanState, incremental_update
+from .optimize import (
+    Estimator,
+    OptimizerParams,
+    canonical_plan,
+    estimate_naive_cost,
+    explain_plan,
+    optimize_plan,
+)
 from .plan import ExecutionContext, Plan
+from .stats import size_bucket
 
 __all__ = [
     "Backend",
@@ -55,6 +64,7 @@ __all__ = [
     "set_backend",
     "using_backend",
     "backend_from_name",
+    "OPTIMIZER_ENV",
 ]
 
 Row = Tuple[object, ...]
@@ -63,6 +73,24 @@ Row = Tuple[object, ...]
 _UNCOMPILABLE = object()
 # how far up a database's apply_delta ancestry to look for a usable state
 _MAX_PROVENANCE_CHAIN = 16
+# never fall back to the interpreter when its estimated cost exceeds this —
+# a misestimated plan is recoverable, an interpreter run over a huge domain
+# product is not
+_NAIVE_FALLBACK_CAP = 250_000.0
+# ...and never abandon a plan this cheap: small plans execute in microseconds
+# anyway, and keeping them keeps the incremental delta path alive for update
+# streams over small databases
+_NAIVE_FALLBACK_FLOOR = 512.0
+# plans already costed below this are not worth a rewrite pass: the join
+# reorderer's own overhead would exceed anything it could save (tiny
+# databases, trivial formulas) — they are canonicalised and run as-is
+_OPT_SKIP_COST = 256.0
+# structural-interning table size before it is wiped (a safety valve; real
+# workloads stay far below it)
+_CANON_CAP = 16_384
+
+#: environment knob selecting the cost-based optimizer mode
+OPTIMIZER_ENV = "REPRO_OPTIMIZER"
 
 
 def _delta_mode_from_env() -> str:
@@ -77,6 +105,30 @@ def _delta_mode_from_env() -> str:
     warnings.warn(
         f"ignoring invalid REPRO_DELTA={value!r}; expected 'on', 'off' or "
         "'verify' — using 'on'",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return "on"
+
+
+def _optimizer_mode_from_env() -> str:
+    """The optimizer mode selected by ``REPRO_OPTIMIZER``.
+
+    ``on`` (the default) rewrites plans cost-based; ``off`` executes the
+    compiler's syntactic plans unchanged; ``explain`` is ``on`` plus
+    estimated-vs-actual cardinality tracking on every full execution (the
+    ``estimation_error`` counter in :meth:`CompiledBackend.cache_stats`).
+    """
+    value = os.environ.get(OPTIMIZER_ENV, "on").strip().lower()
+    if value in ("on", "1", "true", "yes", ""):
+        return "on"
+    if value in ("off", "0", "false", "no"):
+        return "off"
+    if value == "explain":
+        return "explain"
+    warnings.warn(
+        f"ignoring invalid {OPTIMIZER_ENV}={value!r}; expected 'on', 'off' "
+        "or 'explain' — using 'on'",
         RuntimeWarning,
         stacklevel=2,
     )
@@ -107,6 +159,26 @@ class Backend:
         domain: Optional[Iterable[object]] = None,
     ) -> Set[Row]:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def evaluate_many(
+        self,
+        formulas: Sequence[Formula],
+        db: Database,
+        signature: Signature = EMPTY_SIGNATURE,
+        domain: Optional[Iterable[object]] = None,
+    ) -> Tuple[bool, ...]:
+        """Evaluate a whole constraint set against one database.
+
+        The base implementation just loops; the compiled backend makes the
+        batch cheaper than the sum of its parts by interning structurally
+        shared sub-plans across the set and materialising each shared
+        intermediate once per database (see ``docs/optimizer.md``).
+        """
+        domain_key = None if domain is None else frozenset(domain)
+        return tuple(
+            self.evaluate(formula, db, None, signature, domain_key)
+            for formula in formulas
+        )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
@@ -207,6 +279,7 @@ class CompiledBackend(Backend):
         memo_size: int = 512,
         delta: Optional[str] = None,
         state_history: int = 8,
+        optimizer: Optional[str] = None,
     ):
         self._plans: _LRU = _LRU(plan_cache_size)
         self._memo_size = memo_size
@@ -242,25 +315,75 @@ class CompiledBackend(Backend):
         self._states_lock = threading.Lock()
         self.delta_hits = 0
         self.delta_misses = 0
+        # -- the cost-based optimizer (REPRO_OPTIMIZER / `optimizer` arg) ----
+        if optimizer is None:
+            optimizer = _optimizer_mode_from_env()
+        if optimizer not in ("on", "off", "explain"):
+            raise ValueError(
+                f"unknown optimizer mode {optimizer!r}; expected 'on', 'off' "
+                "or 'explain'"
+            )
+        self.optimizer_mode = optimizer
+        # (syntactic plan, domain default?, stats profile) -> ("plan", plan,
+        # root estimate) or ("naive", None, naive cost): one optimization per
+        # plan shape per database-size profile, shared across every database
+        # matching it.  Keyed by the cached plan *object* (identity hash, the
+        # key tuple keeps it alive) so the lookup never re-hashes a formula.
+        self._opt_plans: _LRU = _LRU(plan_cache_size)
+        self._opt_lock = threading.Lock()
+        # structural-interning table + the sub-plans two constraints share
+        self._canon: Dict[Tuple, Plan] = {}
+        self._shared_nodes: Set[Plan] = set()
+        # per-database rows of shared intermediates (weakly keyed, like the
+        # result memo): a sub-plan two constraints have in common is executed
+        # once per (db, domain, signature) and reused by the second constraint
+        self._shared_rows: "weakref.WeakKeyDictionary[Database, _LRU]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._shared_rows_lock = threading.Lock()
+        self.plans_rewritten = 0
+        self.join_reorders = 0
+        self.shared_subplans = 0
+        self.complements_avoided = 0
+        self.naive_wins = 0
+        self.estimation_checks = 0
+        self.estimation_error = 0
 
     # -- cache plumbing --------------------------------------------------------
 
     def clear_caches(self) -> None:
         self._plans.clear()
+        self._opt_plans.clear()
         with self._memo_lock:
             self._memo.clear()
         with self._states_lock:
             self._states.clear()
+        with self._opt_lock:
+            self._canon.clear()
+            self._shared_nodes.clear()
+        with self._shared_rows_lock:
+            self._shared_rows.clear()
 
     def cache_stats(self) -> Dict[str, int]:
         with self._states_lock:
             states = sum(len(states) for _db, states in self._states.values())
         with self._memo_lock:
             memo = sum(len(lru) for lru in self._memo.values())
+        with self._shared_rows_lock:
+            shared_rows = sum(len(lru) for lru in self._shared_rows.values())
         return {
             "plans": len(self._plans),
             "memo": memo,
             "states": states,
+            "optimized_plans": len(self._opt_plans),
+            "plans_rewritten": self.plans_rewritten,
+            "join_reorders": self.join_reorders,
+            "shared_subplans": self.shared_subplans,
+            "complements_avoided": self.complements_avoided,
+            "naive_wins": self.naive_wins,
+            "shared_intermediates": shared_rows,
+            "estimation_checks": self.estimation_checks,
+            "estimation_error": self.estimation_error,
         }
 
     def _bump(self, counter: str, amount: int = 1) -> None:
@@ -295,6 +418,124 @@ class CompiledBackend(Backend):
             self._plans.put(key, plan)
         return plan
 
+    # -- cost-based plan selection ----------------------------------------------
+
+    def _optimizer_params(self) -> OptimizerParams:
+        """The cost-model configuration (the sharded backend overrides this)."""
+        return OptimizerParams()
+
+    def _stats_profile(self, db: Database, domain_size: int) -> Tuple:
+        """The coarse size fingerprint optimized plans are cached under.
+
+        Power-of-four buckets per relation plus a domain bucket: every
+        database of roughly the same shape reuses the same optimized plan,
+        and the profile stays stable along realistic update streams — which
+        is what keeps the incremental delta path resuming from one plan
+        shape.
+        """
+        return (
+            tuple(
+                size_bucket(len(db.relation(name)))
+                for name in db.schema.relation_names
+            ),
+            size_bucket(domain_size),
+        )
+
+    def _plan_for_execution(
+        self,
+        formula: Formula,
+        variables: Tuple[str, ...],
+        db: Database,
+        domain_key: Optional[frozenset],
+    ) -> Optional[Plan]:
+        """The plan to run for ``formula`` against ``db`` — or ``None``.
+
+        With the optimizer off this is the compiler's plan verbatim.  With it
+        on, the plan is rewritten cost-based for the database's statistics
+        profile (cached per profile), canonicalised against the backend's
+        structural-interning table, and priced against the naive interpreter;
+        ``None`` means the interpreter is estimated cheaper than every plan
+        the optimizer could find (the cheap-plan fallback — never run a plan
+        costed worse than naive evaluation).  Raises :class:`CompileError`
+        exactly like :meth:`plan_for`.
+        """
+        plan = self.plan_for(formula, variables)
+        if self.optimizer_mode == "off":
+            return plan
+        if domain_key is None:
+            domain_size = len(db.active_domain)
+            default_domain = True
+        else:
+            domain_size = len(domain_key)
+            default_domain = False
+        key = (plan, default_domain, self._stats_profile(db, domain_size))
+        entry = self._opt_plans.get(key)
+        if entry is None:
+            entry = self._optimize_entry(
+                formula, variables, plan, db, domain_size, default_domain
+            )
+            self._opt_plans.put(key, entry)
+        kind, chosen, _estimate = entry
+        if kind != "naive":
+            return chosen
+        if db.provenance_step() is not None:
+            # the database is part of an update stream: the plan amortises
+            # through the incremental delta path (O(|delta|) per step),
+            # which the one-shot interpreter never can — keep the plan
+            return chosen
+        return None
+
+    def _optimize_entry(
+        self,
+        formula: Formula,
+        variables: Tuple[str, ...],
+        plan: Plan,
+        db: Database,
+        domain_size: int,
+        default_domain: bool,
+    ) -> Tuple[str, Optional[Plan], float]:
+        params = self._optimizer_params()
+        stats = db.stats()
+        estimator = Estimator(stats, domain_size, default_domain, params)
+        syntactic_cost = estimator.cost(plan)
+        best = plan
+        if syntactic_cost >= _OPT_SKIP_COST:
+            try:
+                best, info = optimize_plan(
+                    plan, stats, domain_size, default_domain, params, estimator
+                )
+            except Exception as exc:  # a failed rewrite must never break evaluation
+                warnings.warn(
+                    f"plan optimization failed for {formula!r}: {exc!r} — "
+                    "keeping the syntactic plan",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return ("plan", plan, -1.0)
+            naive_cost = estimate_naive_cost(formula, variables, domain_size)
+            if (
+                naive_cost < _NAIVE_FALLBACK_CAP
+                and info.optimized_cost > _NAIVE_FALLBACK_FLOOR
+                and info.optimized_cost > naive_cost * params.naive_margin
+            ):
+                # the entry keeps the best plan anyway: provenance-bearing
+                # databases (update streams) still run it incrementally
+                return ("naive", best, naive_cost)
+            if info.rewritten:
+                self._bump("plans_rewritten")
+                if info.join_reorders:
+                    self._bump("join_reorders", info.join_reorders)
+            if info.complements_avoided:
+                self._bump("complements_avoided", info.complements_avoided)
+        with self._opt_lock:
+            if len(self._canon) > _CANON_CAP:
+                self._canon.clear()
+                self._shared_nodes.clear()
+            best, hits = canonical_plan(best, self._canon, self._shared_nodes)
+        if hits:
+            self._bump("shared_subplans", hits)
+        return ("plan", best, estimator.estimate(best).rows)
+
     # -- the Backend API --------------------------------------------------------
 
     def extension(self, formula, db, variables, signature=EMPTY_SIGNATURE, domain=None):
@@ -320,18 +561,28 @@ class CompiledBackend(Backend):
                 # them through the (usually empty) composed delta so the
                 # provenance chain stays warm for the next update
                 try:
-                    plan = self.plan_for(formula, variables)
+                    plan = self._plan_for_execution(formula, variables, db, domain_key)
                 except CompileError:
                     return set(cached)
-                ctx = ExecutionContext(db, domain_key, signature)
-                self._incremental_extension(plan, db, memo_key, ctx, warming=True)
+                if plan is not None:
+                    ctx = ExecutionContext(db, domain_key, signature)
+                    self._incremental_extension(plan, db, memo_key, ctx, warming=True)
             return set(cached)
         try:
-            plan = self.plan_for(formula, variables)
+            plan = self._plan_for_execution(formula, variables, db, domain_key)
         except CompileError:
             # interpreter fallback — memoised exactly like a compiled result,
             # so a repeated check against the same database is a lookup
             self._bump("fallbacks")
+            rows = frozenset(
+                self._naive.extension(formula, db, variables, signature, domain_key)
+            )
+            memo.put(memo_key, rows)
+            return set(rows)
+        if plan is None:
+            # the optimizer priced every plan worse than the interpreter —
+            # run (and memoise) the interpreter instead of a known-bad plan
+            self._bump("naive_wins")
             rows = frozenset(
                 self._naive.extension(formula, db, variables, signature, domain_key)
             )
@@ -356,12 +607,147 @@ class CompiledBackend(Backend):
                 raise EvaluationError(str(exc)) from exc
             if self.delta_mode != "off":
                 self._remember_state(db, memo_key, self._plan_state_from(ctx))
+            if self.optimizer_mode == "explain":
+                self._record_estimation(plan, db, memo_key, rows)
         memo.put(memo_key, rows)
         return set(rows)
 
+    def _record_estimation(self, plan, db, memo_key, rows) -> None:
+        """Explain mode: score the root estimate against the actual result."""
+        domain_key = memo_key[2]
+        domain_size = len(domain_key) if domain_key is not None else len(db.active_domain)
+        try:
+            estimator = Estimator(
+                db.stats(), domain_size, domain_key is None, self._optimizer_params()
+            )
+            estimate = estimator.estimate(plan).rows
+        except Exception:  # estimation must never break evaluation
+            return
+        self._bump("estimation_checks")
+        actual = float(len(rows))
+        ratio = max((estimate + 1.0) / (actual + 1.0), (actual + 1.0) / (estimate + 1.0))
+        if ratio > 4.0:
+            self._bump("estimation_error")
+
+    def explain(
+        self,
+        formula: Formula,
+        db: Database,
+        variables: Sequence[str] = (),
+        signature: Signature = EMPTY_SIGNATURE,
+        domain: Optional[Iterable[object]] = None,
+    ) -> str:
+        """A human-readable optimizer report for ``formula`` against ``db``.
+
+        Shows the plan the backend would execute, its estimated and *actual*
+        per-node cardinalities (the formula is executed once to measure
+        them), the modelled costs of the syntactic and optimized plans, and
+        the interpreter yardstick — the tool for diagnosing why the
+        optimizer picked (or refused) a shape.
+        """
+        variables = tuple(variables)
+        domain_key = None if domain is None else frozenset(domain)
+        domain_size = (
+            len(domain_key) if domain_key is not None else len(db.active_domain)
+        )
+        original = self.plan_for(formula, variables)  # CompileError propagates
+        params = self._optimizer_params()
+        stats = db.stats()
+        estimator = Estimator(stats, domain_size, domain_key is None, params)
+        naive_cost = estimate_naive_cost(formula, variables, domain_size)
+        chosen = self._plan_for_execution(formula, variables, db, domain_key)
+        lines = [
+            f"formula: {formula}",
+            f"optimizer: {self.optimizer_mode}  domain={domain_size}  "
+            f"naive_cost~{naive_cost:.0f}",
+        ]
+        if chosen is None:
+            lines.append(
+                "chosen: naive interpreter (every plan costed worse than "
+                f"{params.naive_margin:.1f}x the interpreter)"
+            )
+            lines.append("rejected plan:")
+            lines.append(explain_plan(original, estimator))
+            return "\n".join(lines)
+        ctx = ExecutionContext(db, domain_key, signature)
+        self._execute_plan(chosen, ctx)
+        lines.append(
+            f"chosen: {'optimized' if chosen is not original else 'syntactic'} plan "
+            f"(cost~{estimator.cost(chosen):.0f}, syntactic~{estimator.cost(original):.0f})"
+        )
+        lines.append(explain_plan(chosen, estimator, ctx.cache))
+        return "\n".join(lines)
+
     def _execute_plan(self, plan: Plan, ctx: ExecutionContext) -> frozenset:
-        """Full (non-incremental) plan execution — the sharded backend's hook."""
-        return plan.rows(ctx)
+        """Full (non-incremental) plan execution — the sharded backend's hook.
+
+        Sub-plans the structural interner identified as shared between
+        constraints are seeded from (and saved to) a per-database memo, so
+        evaluating a whole constraint set against one database computes each
+        common intermediate once.  A seeded entry carries its entire
+        sub-DAG's rows, which keeps the remembered node-level plan states
+        complete for the incremental delta path.
+        """
+        shared = self._shared_in(plan)
+        if shared:
+            lru = self._shared_rows_for(ctx.db, create=False)
+            if lru is not None:
+                for node in shared:
+                    hit = lru.get((node, ctx.domain, ctx.signature))
+                    if hit is not None:
+                        ctx.cache.update(hit)
+        rows = plan.rows(ctx)
+        if shared:
+            lru = self._shared_rows_for(ctx.db, create=True)
+            for node in shared:
+                if node in ctx.cache:
+                    lru.put(
+                        (node, ctx.domain, ctx.signature), self._subtree_rows(node, ctx)
+                    )
+        return rows
+
+    def _shared_in(self, plan: Plan) -> Tuple[Plan, ...]:
+        """The nodes of ``plan``'s DAG known to be shared with other plans."""
+        shared_nodes = self._shared_nodes
+        if not shared_nodes:
+            return ()
+        found = []
+        seen: Set[Plan] = set()
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node in shared_nodes and node is not plan:
+                found.append(node)
+                continue  # the whole subtree rides along with its root
+            stack.extend(node.children())
+        return tuple(found)
+
+    @staticmethod
+    def _subtree_rows(node: Plan, ctx: ExecutionContext) -> Dict[Plan, frozenset]:
+        """``{node: rows}`` for the node's whole evaluated sub-DAG."""
+        rows: Dict[Plan, frozenset] = {}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in rows:
+                continue
+            cached = ctx.cache.get(current)
+            if cached is None:
+                continue
+            rows[current] = cached
+            stack.extend(current.children())
+        return rows
+
+    def _shared_rows_for(self, db: Database, create: bool) -> Optional[_LRU]:
+        with self._shared_rows_lock:
+            lru = self._shared_rows.get(db)
+            if lru is None and create:
+                lru = _LRU(self._memo_size)
+                self._shared_rows[db] = lru
+            return lru
 
     def _plan_state_from(self, ctx: ExecutionContext) -> PlanState:
         """The rememberable node-level state of a full execution (hook)."""

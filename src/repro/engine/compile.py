@@ -67,7 +67,13 @@ from .plan import (
     UnionAll,
 )
 
-__all__ = ["CompileError", "compile_extension", "compile_sentence"]
+__all__ = [
+    "CompileError",
+    "compile_extension",
+    "compile_sentence",
+    "predicate_for",
+    "depends_for",
+]
 
 
 class CompileError(ValueError):
@@ -147,13 +153,15 @@ def _row_env(columns: Tuple[str, ...]) -> Callable[[Tuple[object, ...]], Dict[st
     return env
 
 
-def _predicate_for(formula: Formula, columns: Tuple[str, ...]):
+def predicate_for(formula: Formula, columns: Tuple[str, ...]):
     """A per-row predicate for an atomic formula whose variables are all bound.
 
     This is the tuple-at-a-time escape hatch for the constructs a positional
     algebra cannot evaluate set-at-a-time — interpreted (``Omega``) atoms and
     function terms — applied only once the relational part of the plan has
-    bound every variable they mention (a pushed-down selection).
+    bound every variable they mention (a pushed-down selection).  Public
+    because the cost-based optimizer re-derives predicates when its rewritten
+    plans bind the same formula against a different column layout.
     """
     env_of = _row_env(columns)
     if isinstance(formula, InterpretedAtom):
@@ -187,7 +195,7 @@ def _predicate_for(formula: Formula, columns: Tuple[str, ...]):
     raise CompileError(f"no row predicate for {type(formula).__name__}")
 
 
-def _depends_for(formula: Formula) -> frozenset:
+def depends_for(formula: Formula) -> frozenset:
     """Base relations a pushed-down selection reads (for delta evaluation)."""
     if isinstance(formula, Atom):
         return frozenset({formula.relation})
@@ -205,9 +213,10 @@ def _fallback_atomic(formula: Formula) -> Plan:
     base: Plan = DomainProduct(columns)
     return Select(
         base,
-        _predicate_for(formula, columns),
+        predicate_for(formula, columns),
         description=str(formula),
-        depends=_depends_for(formula),
+        depends=depends_for(formula),
+        formula=formula,
     )
 
 
@@ -383,9 +392,10 @@ def _compile_and(parts: Sequence[Formula]) -> Plan:
                 if pending.free_variables() <= covered:
                     current = Select(
                         current,
-                        _predicate_for(pending, current.columns),
+                        predicate_for(pending, current.columns),
                         description=str(pending),
-                        depends=_depends_for(pending),
+                        depends=depends_for(pending),
+                        formula=pending,
                     )
                     filters.remove(pending)
                     changed = True

@@ -48,6 +48,9 @@ from typing import Dict, FrozenSet, Optional, Set, Tuple
 from ..db.database import Database
 from ..db.delta import Delta, patch_buckets
 from .plan import (
+    join_key as _plan_join_key,
+)
+from .plan import (
     Antijoin,
     ConstantTable,
     DomainComplement,
@@ -129,9 +132,7 @@ def incremental_update(
     return ctx.cache[plan], PlanState(dict(ctx.cache), run.new_aux)
 
 
-def _join_key(columns, shared):
-    indices = tuple(columns.index(c) for c in shared)
-    return lambda row: tuple(row[i] for i in indices)
+_join_key = _plan_join_key
 
 
 class _IncrementalRun:

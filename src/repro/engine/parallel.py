@@ -61,6 +61,10 @@ from ..db.sharding import (
     shards_from_env,
 )
 from .backend import CompiledBackend, _MAX_PROVENANCE_CHAIN, _LRU
+from .optimize import OptimizerParams
+from .plan import (
+    join_key as _join_key,
+)
 from .plan import (
     Antijoin,
     ConstantTable,
@@ -105,11 +109,6 @@ def _pool_threads_from_env(num_shards: int) -> int:
         except ValueError:
             pass
     return min(num_shards, os.cpu_count() or 1)
-
-
-def _join_key(columns: Sequence[str], shared: Sequence[str]) -> Callable[[Row], Row]:
-    indices = tuple(columns.index(c) for c in shared)
-    return lambda row: tuple(row[i] for i in indices)
 
 
 def _join_rows(node: HashJoin, left_rows: Rows, right_rows: Rows) -> Rows:
@@ -983,6 +982,15 @@ class ShardedBackend(CompiledBackend):
             formula, self._promote(db), variables, signature, domain
         )
 
+    def _optimizer_params(self) -> OptimizerParams:
+        """Partition-aware costing: co-partitioned joins parallelise across
+        the shards, broadcast joins pay to replicate their smaller side —
+        which steers the join reorderer towards orders that keep the
+        partition column in the join key (the repartition points)."""
+        return OptimizerParams(
+            num_shards=self.num_shards, partition_column=PARTITION_COLUMN
+        )
+
     def _execute_plan(self, plan: Plan, ctx: ExecutionContext) -> Rows:
         if isinstance(ctx.db, ShardedDatabase):
             run = _ShardedRun(self, ctx)
@@ -990,7 +998,9 @@ class ShardedBackend(CompiledBackend):
             self._tls.last_run = run
             return rows
         self._tls.last_run = None
-        return plan.rows(ctx)
+        # non-sharded input: the serial path, including the shared-subplan
+        # intermediate memo of the base backend
+        return super()._execute_plan(plan, ctx)
 
     def _plan_state_from(self, ctx: ExecutionContext):
         from .delta import PlanState

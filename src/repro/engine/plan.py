@@ -45,6 +45,7 @@ from ..logic.signature import EMPTY_SIGNATURE, Signature
 
 __all__ = [
     "PlanError",
+    "join_key",
     "ExecutionContext",
     "Plan",
     "Scan",
@@ -339,9 +340,15 @@ class Select(Plan):
     frozenset for signature-only predicates).  ``None`` means unknown; the
     incremental evaluator then re-runs the selection instead of assuming the
     predicate is stable under database deltas.
+
+    ``formula`` (when given) is the atomic formula the predicate was derived
+    from.  The predicate closure binds the child's column *positions*, so it
+    cannot survive a column reordering — the cost-based optimizer uses the
+    remembered formula to re-derive an equivalent predicate against whatever
+    column layout its rewritten plan produces.
     """
 
-    __slots__ = ("child", "predicate", "description", "depends")
+    __slots__ = ("child", "predicate", "description", "depends", "formula")
 
     def __init__(
         self,
@@ -349,12 +356,14 @@ class Select(Plan):
         predicate: Callable[[Row, ExecutionContext], bool],
         description: str = "predicate",
         depends: Optional[FrozenSet[str]] = None,
+        formula: Optional[object] = None,
     ):
         super().__init__(child.columns)
         self.child = child
         self.predicate = predicate
         self.description = description
         self.depends = depends
+        self.formula = formula
 
     def children(self) -> Tuple[Plan, ...]:
         return (self.child,)
@@ -400,9 +409,18 @@ class Project(Plan):
 # binary operators
 # ---------------------------------------------------------------------------
 
-def _join_key(columns: Sequence[str], shared: Sequence[str]) -> Callable[[Row], Row]:
+def join_key(columns: Sequence[str], shared: Sequence[str]) -> Callable[[Row], Row]:
+    """A row -> key-tuple extractor for the named ``shared`` columns.
+
+    The one key-extraction helper behind the join family here, the
+    incremental delta rules and the sharded executor (all three used to keep
+    private copies).
+    """
     indices = tuple(columns.index(c) for c in shared)
     return lambda row: tuple(row[i] for i in indices)
+
+
+_join_key = join_key
 
 
 class HashJoin(Plan):

@@ -578,6 +578,50 @@ class CountingExists(Formula):
 
 
 # ---------------------------------------------------------------------------
+# per-instance memoisation of hash and free variables
+# ---------------------------------------------------------------------------
+#
+# Formulas are immutable, and the query engine keys every cache it owns —
+# plan cache, optimized-plan cache, per-database result memos — by formula.
+# Weakest-precondition formulas run to tens of thousands of nodes, so
+# recomputing a structural hash per lookup dominated entire validation
+# sweeps.  Every concrete class gets its hash (and free-variable set)
+# computed once per instance and stashed via ``object.__setattr__`` (which
+# also works for the frozen dataclasses).
+
+def _memoize_formula_class(cls) -> None:
+    original_hash = cls.__hash__
+    original_free = cls.free_variables
+
+    def cached_hash(self) -> int:
+        try:
+            return self._hash_value
+        except AttributeError:
+            value = original_hash(self)
+            object.__setattr__(self, "_hash_value", value)
+            return value
+
+    def cached_free(self) -> FrozenSet[str]:
+        try:
+            return self._free_vars
+        except AttributeError:
+            value = original_free(self)
+            object.__setattr__(self, "_free_vars", value)
+            return value
+
+    cls.__hash__ = cached_hash
+    cls.free_variables = cached_free
+
+
+for _formula_class in (
+    Top, Bottom, Atom, Eq, InterpretedAtom, Not, And, Or, Implies, Iff,
+    Exists, Forall, CountingExists,
+):
+    _memoize_formula_class(_formula_class)
+del _formula_class
+
+
+# ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
 

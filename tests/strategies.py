@@ -249,16 +249,24 @@ def backend_matrix():
     """Fresh instances of every non-oracle backend configuration under test.
 
     Returns ``[(name, backend), ...]`` covering the compiled engine with
-    delta evaluation on and off, and the sharded engine at every shard count
-    in :data:`SHARD_COUNTS`.  The naive interpreter is the oracle the matrix
-    is compared against, so it is not part of the matrix itself.
+    delta evaluation on and off, the sharded engine at every shard count in
+    :data:`SHARD_COUNTS`, and the **optimizer axis**: explicit
+    optimizer-off variants of the compiled and one sharded configuration
+    (the remaining configurations inherit ``REPRO_OPTIMIZER`` from the
+    environment, so the CI optimizer-off leg flips the whole matrix at
+    once).  The naive interpreter is the oracle the matrix is compared
+    against, so it is not part of the matrix itself.
     """
     from repro.engine import CompiledBackend, ShardedBackend
 
     matrix = [
         ("compiled-delta", CompiledBackend(delta="on")),
         ("compiled-nodelta", CompiledBackend(delta="off")),
+        ("compiled-noopt", CompiledBackend(optimizer="off")),
     ]
     for count in SHARD_COUNTS:
         matrix.append((f"sharded-{count}", ShardedBackend(shards=count)))
+    matrix.append(
+        ("sharded-2-noopt", ShardedBackend(shards=2, optimizer="off"))
+    )
     return matrix
