@@ -85,6 +85,13 @@ _NAIVE_FALLBACK_FLOOR = 512.0
 # reorderer's own overhead would exceed anything it could save (tiny
 # databases, trivial formulas) — they are canonicalised and run as-is
 _OPT_SKIP_COST = 256.0
+# below this many total database rows, optimization is *lazy*: an entry is
+# only optimized at its third request, so one-shot formulas (the
+# per-transaction weakest preconditions of a maintenance stream especially)
+# never pay for a rewrite they cannot amortise.  At or above it, a single
+# execution dwarfs optimization time and the rewrite happens eagerly.
+_OPT_EAGER_ROWS = 1024
+_OPT_JIT_REQUESTS = 3
 # structural-interning table size before it is wiped (a safety valve; real
 # workloads stay far below it)
 _CANON_CAP = 16_384
@@ -424,23 +431,6 @@ class CompiledBackend(Backend):
         """The cost-model configuration (the sharded backend overrides this)."""
         return OptimizerParams()
 
-    def _stats_profile(self, db: Database, domain_size: int) -> Tuple:
-        """The coarse size fingerprint optimized plans are cached under.
-
-        Power-of-four buckets per relation plus a domain bucket: every
-        database of roughly the same shape reuses the same optimized plan,
-        and the profile stays stable along realistic update streams — which
-        is what keeps the incremental delta path resuming from one plan
-        shape.
-        """
-        return (
-            tuple(
-                size_bucket(len(db.relation(name)))
-                for name in db.schema.relation_names
-            ),
-            size_bucket(domain_size),
-        )
-
     def _plan_for_execution(
         self,
         formula: Formula,
@@ -468,8 +458,24 @@ class CompiledBackend(Backend):
         else:
             domain_size = len(domain_key)
             default_domain = False
-        key = (plan, default_domain, self._stats_profile(db, domain_size))
+        sizes = [len(db.relation(name)) for name in db.schema.relation_names]
+        profile = (
+            tuple(size_bucket(size) for size in sizes),
+            size_bucket(domain_size),
+        )
+        key = (plan, default_domain, profile)
         entry = self._opt_plans.get(key)
+        if entry is None and sum(sizes) < _OPT_EAGER_ROWS:
+            # small database: count requests instead of optimizing —
+            # see _OPT_EAGER_ROWS above
+            self._opt_plans.put(key, ("count", plan, 1))
+            return plan
+        if entry is not None and entry[0] == "count":
+            requests = entry[2] + 1
+            if requests < _OPT_JIT_REQUESTS:
+                self._opt_plans.put(key, ("count", plan, requests))
+                return plan
+            entry = None  # third request: the entry has earned a rewrite
         if entry is None:
             entry = self._optimize_entry(
                 formula, variables, plan, db, domain_size, default_domain

@@ -298,7 +298,9 @@ class TestBackendIntegration:
 
     def test_shared_subplans_across_constraints(self):
         backend = CompiledBackend(optimizer="on")
-        db = random_graph(26, 0.4, seed=7)
+        # large enough (>= _OPT_EAGER_ROWS rows) that optimization is eager
+        # rather than request-counted
+        db = random_graph(60, 0.4, seed=7)
         premise = "(exists y . exists z . E(a, y) & E(y, z) & E(z, 0))"
         one = parse(f"forall a . {premise} -> (exists w . E(a, w))")
         two = parse(f"forall a . {premise} -> (exists w . E(w, a))")
