@@ -1,0 +1,207 @@
+"""E19 — process scale-out: worker processes versus threads, swept.
+
+The tentpole claim of the process executor (``REPRO_SHARD_PROCS``): shard
+evaluation dispatched to long-lived worker processes escapes the GIL, so on
+a multi-core runner the sharded engine's speedups become *CPU* speedups
+rather than cache speedups.  Two workload shapes:
+
+* **cold revalidation under churn** (E17's headline regime): the
+  entity-partitioned ledger with single-entity updates and cold snapshot
+  handoff.  Shard states live warm in the workers — after the first step
+  each re-check ships only the touched shard's delta (content-keyed state
+  ids make the untouched shards free) — so the process mode pays IPC only
+  where the data actually changed.
+
+* **join-heavy scan** (E18's audit mix): big multi-joins over a skewed
+  transfer graph, where per-shard work dominates and the broadcast/ship
+  serialization term of the process-mode cost model matters.
+
+Both sweep shard counts × executor modes and emit every point as a
+``BENCH-METRIC`` line (with the runner's CPU count), so ``run_all.py
+--baseline`` can gate process-mode regressions point by point.  The perf
+*assertions* are gated on ``os.cpu_count() >= 4``: on a single-core runner
+process mode degenerates to serialized IPC — the sweep still runs (and
+still checks correctness) but only the multi-core speedup claims apply.
+
+Acceptance (8-core runner): process mode at 4 shards is >= 3.5x the
+single-shard compiled path on the churn workload, and strictly beats
+thread mode at 4 shards on the join-heavy workload.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.db import Database, ShardedDatabase
+from repro.engine import CompiledBackend, ShardedBackend, active_backend
+
+from bench_e17_sharded import (
+    LEDGER,
+    SIZES,
+    bench_seed,
+    churn_states,
+    emit_metric,
+    run_cold_sweep,
+)
+from bench_e18_optimizer import SIZES as E18_SIZES, audit_db, timed
+
+SHARD_COUNTS = (1, 2, 4)
+MODES = ("threads", "procs")
+
+#: the multi-core speedup claims only hold where there are cores to scale
+#: onto; below this the sweep still runs for correctness + metrics
+MIN_CPUS_FOR_PERF = 4
+
+
+def cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def make_backend(shards: int, mode: str) -> ShardedBackend:
+    """One sweep point: `procs` pins one worker process per shard."""
+    return ShardedBackend(shards=shards, procs=shards if mode == "procs" else 0)
+
+
+def test_e19_cold_churn_scaling(benchmark):
+    """Shards × {threads, procs} on E17's cold-revalidation churn."""
+    if active_backend().name == "naive":
+        pytest.skip("scale-out is measured against the compiled engine")
+    accounts, users, amount_pool, steps = SIZES["production"]
+    states = churn_states(accounts, users, amount_pool, steps, bench_seed())
+    cpus = cpu_count()
+    timings = {}
+
+    def sweep():
+        timings["compiled"] = run_cold_sweep(
+            CompiledBackend(), lambda rels: Database(LEDGER, rels), states
+        )
+        for mode in MODES:
+            for count in SHARD_COUNTS:
+                backend = make_backend(count, mode)
+                try:
+                    timings[f"{mode}{count}"] = run_cold_sweep(
+                        backend,
+                        lambda rels, n=count: ShardedDatabase(LEDGER, rels, n),
+                        states,
+                    )
+                finally:
+                    backend.close()
+        return timings
+
+    benchmark(sweep)
+    payload = {
+        "cpus": cpus,
+        "steps": steps,
+        "accounts": accounts,
+        "compiled_s": round(timings["compiled"], 3),
+    }
+    for mode in MODES:
+        for count in SHARD_COUNTS:
+            payload[f"{mode}{count}_s"] = round(timings[f"{mode}{count}"], 3)
+    payload["procs4_vs_compiled"] = round(
+        timings["compiled"] / timings["procs4"], 2
+    )
+    payload["threads4_vs_compiled"] = round(
+        timings["compiled"] / timings["threads4"], 2
+    )
+    payload["procs4_vs_threads4"] = round(
+        timings["threads4"] / timings["procs4"], 2
+    )
+    emit_metric("e19-cold-scaling", payload)
+    assert all(seconds > 0 for seconds in timings.values())
+    if cpus >= MIN_CPUS_FOR_PERF:
+        assert payload["procs4_vs_compiled"] >= 3.5, (
+            f"4-shard process mode ({timings['procs4']:.3f}s) must be at "
+            f"least 3.5x the single-shard compiled path "
+            f"({timings['compiled']:.3f}s) on a {cpus}-core runner"
+        )
+
+
+def test_e19_join_heavy_procs_vs_threads(benchmark):
+    """E18-scale multi-joins: procs must strictly beat threads at 4 shards."""
+    if active_backend().name == "naive":
+        pytest.skip("scale-out is measured against the compiled engine")
+    accounts, users, transfers, follows, suspects = E18_SIZES["small"]
+    dbs = [
+        audit_db(accounts, users, transfers, follows, suspects, seed)
+        for seed in (bench_seed(), bench_seed() + 1)
+    ]
+    sharded_dbs = [
+        ShardedDatabase(db.schema, db.relations(), 4) for db in dbs
+    ]
+    cpus = cpu_count()
+    timings = {}
+    results = {}
+
+    def sweep():
+        for mode in MODES:
+            backend = make_backend(4, mode)
+            try:
+                timings[mode], results[mode] = timed(backend, sharded_dbs)
+            finally:
+                backend.close()
+        return timings
+
+    benchmark(sweep)
+    # both executors must compute the same answers — the wire protocol is
+    # an implementation detail, not a semantics change
+    assert results["threads"] == results["procs"]
+    ratio = timings["threads"] / timings["procs"]
+    emit_metric(
+        "e19-join-heavy",
+        {
+            "cpus": cpus,
+            "threads4_s": round(timings["threads"], 3),
+            "procs4_s": round(timings["procs"], 3),
+            "procs4_vs_threads4": round(ratio, 2),
+        },
+    )
+    if cpus >= MIN_CPUS_FOR_PERF:
+        assert timings["procs"] < timings["threads"], (
+            f"process mode ({timings['procs']:.3f}s) must strictly beat "
+            f"thread mode ({timings['threads']:.3f}s) at 4 shards on a "
+            f"{cpus}-core runner"
+        )
+
+
+def test_e19_warm_worker_delta_transfer():
+    """The mechanism: after warmup, a churn step ships only the touched shard.
+
+    Worker-side shard states are content-keyed; re-attaching an unchanged
+    shard is a state-id comparison, and a changed shard travels as its
+    delta.  The observable: the second pass over the same churn states is
+    all cache hits (zero new worker tasks beyond the first pass's misses).
+    """
+    if active_backend().name == "naive":
+        pytest.skip("scale-out is measured against the compiled engine")
+    accounts, users, amount_pool, steps = SIZES["small"]
+    states = churn_states(accounts, users, amount_pool, steps, bench_seed())
+    backend = make_backend(4, "procs")
+    try:
+        run_cold_sweep(
+            backend, lambda rels: ShardedDatabase(LEDGER, rels, 4), states
+        )
+        stats = backend.cache_stats()
+        emit_metric(
+            "e19-warm-delta",
+            {
+                "cpus": cpu_count(),
+                "proc_tasks": stats["proc_tasks"],
+                "proc_fallbacks": stats["proc_fallbacks"],
+                "proc_restarts": stats["proc_restarts"],
+                "shard_hits": stats["shard_hits"],
+                "shard_misses": stats["shard_misses"],
+            },
+        )
+        # the churn stream must actually exercise the process path ...
+        assert stats["proc_workers"] == 4
+        assert stats["proc_tasks"] > 0
+        assert stats["proc_restarts"] == 0
+        # ... and the warm coordinator cache absorbs untouched shards: one
+        # account churned per step means well over half of all per-shard
+        # lookups hit (same shape as E17's cache-reuse counter)
+        total = stats["shard_hits"] + stats["shard_misses"]
+        assert total > 0 and stats["shard_hits"] / total >= 0.5
+    finally:
+        backend.close()

@@ -49,7 +49,7 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18")
+QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18", "e19")
 # per-experiment extra backends beyond the requested ones: the update-stream
 # experiment A/Bs the compiled engine with delta evaluation off, so the
 # trajectory records the incremental win (``delta_speedup``) explicitly
@@ -59,12 +59,30 @@ EXTRA_BACKENDS = {"e15": ("compiled-nodelta",)}
 # sharded experiment sweeps its own shard-count matrix internally, and the
 # optimizer experiment times naive/unoptimized/optimized itself — the naive
 # interpreter plays no role and would only burn the timeout
-ONLY_BACKENDS = {"e16": ("compiled",), "e17": ("compiled",), "e18": ("compiled",)}
+ONLY_BACKENDS = {
+    "e16": ("compiled",),
+    "e17": ("compiled",),
+    "e18": ("compiled",),
+    "e19": ("compiled",),
+}
 
 #: per-experiment ratio fields gated by ``--baseline`` (a drop below
 #: ``BASELINE_TOLERANCE`` x the committed value fails the run)
 BASELINE_FIELDS = ("speedup", "delta_speedup")
 BASELINE_TOLERANCE = 0.95
+
+#: per-experiment *metric* ratios additionally gated by ``--baseline``:
+#: (metric name, field) pairs read from ``row["metrics"]``.  Process-mode
+#: ratios are hardware-shaped, so a pair is only compared when both runs
+#: recorded the same ``cpus`` — a baseline from a different runner is not
+#: a regression oracle for IPC-vs-GIL trade-offs
+BASELINE_METRICS = {
+    "e19": (
+        ("e19-cold-scaling", "procs4_vs_threads4"),
+        ("e19-cold-scaling", "procs4_vs_compiled"),
+        ("e19-join-heavy", "procs4_vs_threads4"),
+    ),
+}
 
 
 def discover() -> dict:
@@ -196,6 +214,20 @@ def check_baseline(results: dict, baseline_path: str) -> list:
                 regressions.append(
                     f"{experiment}.{field}: {new} < {BASELINE_TOLERANCE} * "
                     f"baseline {old}"
+                )
+        for metric, field in BASELINE_METRICS.get(experiment, ()):
+            old_metric = row.get("metrics", {}).get(metric) or {}
+            new_metric = current.get("metrics", {}).get(metric) or {}
+            if old_metric.get("cpus") != new_metric.get("cpus"):
+                continue
+            old = old_metric.get(field)
+            new = new_metric.get(field)
+            if old is None or new is None or old <= 0:
+                continue
+            if new < old * BASELINE_TOLERANCE:
+                regressions.append(
+                    f"{experiment}.{metric}.{field}: {new} < "
+                    f"{BASELINE_TOLERANCE} * baseline {old}"
                 )
     return regressions
 

@@ -170,6 +170,47 @@ class Delta:
         """The names of relations this delta affects."""
         return frozenset(self._inserted) | frozenset(self._deleted)
 
+    # -- wire form --------------------------------------------------------------
+
+    #: bump when the wire layout below changes incompatibly
+    WIRE_VERSION = "delta/1"
+
+    def to_wire(self) -> Tuple:
+        """A versioned, deterministic, plain-tuple form for IPC and logs.
+
+        Deltas pickle fine as objects, but the wire form is what crosses
+        process boundaries (the sharded backend's worker protocol) and what
+        a durable log would record: no class reference, a version tag for
+        forward compatibility, and deterministic ordering (relations and
+        rows sorted) so equal deltas serialize identically.
+        """
+        def _rows(rows: Rows) -> Tuple[Row, ...]:
+            return tuple(sorted(rows, key=repr))
+
+        return (
+            self.WIRE_VERSION,
+            tuple(
+                (name, _rows(rows)) for name, rows in sorted(self._inserted.items())
+            ),
+            tuple(
+                (name, _rows(rows)) for name, rows in sorted(self._deleted.items())
+            ),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: Tuple) -> "Delta":
+        """Rebuild a delta from :meth:`to_wire` output (round-trip equal)."""
+        if not (
+            isinstance(wire, tuple)
+            and len(wire) == 3
+            and wire[0] == cls.WIRE_VERSION
+        ):
+            raise DeltaError(f"not a {cls.WIRE_VERSION} wire value: {wire!r:.80}")
+        return cls(
+            inserted={name: rows for name, rows in wire[1]},
+            deleted={name: rows for name, rows in wire[2]},
+        )
+
     def rows_in(self, relation: str) -> Rows:
         """Every row this delta touches (inserts or deletes) in ``relation``."""
         return self._inserted.get(relation, _EMPTY) | self._deleted.get(

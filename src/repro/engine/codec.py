@@ -1,0 +1,215 @@
+"""Plan serialization: a picklable wire form for physical plans.
+
+Plan nodes hold compiled closures (``Select`` predicates bind column
+positions, interpreted symbols come from the execution context), so plan
+*objects* cannot cross a process boundary.  What can is a **spec**: a flat,
+versioned, purely-structural description of the plan DAG — nested tuples of
+strings, numbers and (picklable, structurally-comparable) formula objects.
+
+``plan_to_spec``/``spec_to_plan`` form a codec with a round-trip *identity*
+guarantee at the spec level::
+
+    plan_to_spec(spec_to_plan(spec)) == spec
+
+and an *evaluation-equality* guarantee at the plan level: the decoded plan
+produces the same rows as the original against any execution context (the
+property suite in ``tests/engine/test_plan_codec.py`` checks both).
+
+Sharing is preserved: the spec is a topologically-ordered node table with
+integer child references, so a DAG with shared subplans decodes to a DAG
+with the same sharing (one shared node evaluates once, exactly like the
+original).  ``Select`` nodes are encoded through their remembered source
+``formula`` and decoded by re-deriving the predicate against the child's
+column layout (:func:`repro.engine.compile.predicate_for`) — a ``Select``
+that lost its formula (opaque user-supplied predicates) is not encodable
+and raises :class:`PlanCodecError`; callers fall back to in-process
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .plan import (
+    Antijoin,
+    ConstantTable,
+    DomainComplement,
+    DomainDiagonal,
+    DomainProduct,
+    DomainScan,
+    GroupCount,
+    HashJoin,
+    Plan,
+    PlanError,
+    Project,
+    Scan,
+    Select,
+    SingletonIfActive,
+    UnionAll,
+)
+
+__all__ = [
+    "PlanCodecError",
+    "SPEC_VERSION",
+    "encode_plan",
+    "plan_to_spec",
+    "decode_plan",
+    "spec_to_plan",
+]
+
+#: bump when the node vocabulary below changes incompatibly
+SPEC_VERSION = "plan/1"
+
+
+class PlanCodecError(PlanError):
+    """Raised when a plan has no spec form (or a spec is malformed)."""
+
+
+def encode_plan(plan: Plan) -> Tuple[Tuple, Dict[Plan, int]]:
+    """``(spec, node_ids)`` for ``plan``.
+
+    ``node_ids`` maps every node object of the DAG to its index in the
+    spec's node table — the coordinator uses it to address individual
+    nodes of a shipped plan in worker messages.
+    """
+    nodes: List[Tuple] = []
+    ids: Dict[Plan, int] = {}
+
+    def visit(node: Plan) -> int:
+        known = ids.get(node)
+        if known is not None:
+            return known
+        spec = _encode_node(node, visit)
+        index = len(nodes)
+        nodes.append(spec)
+        ids[node] = index
+        return index
+
+    root = visit(plan)
+    return (SPEC_VERSION, tuple(nodes), root), ids
+
+
+def plan_to_spec(plan: Plan) -> Tuple:
+    """The picklable spec of ``plan`` (see module docstring)."""
+    return encode_plan(plan)[0]
+
+
+def decode_plan(spec: Tuple) -> Tuple[Plan, Tuple[Plan, ...]]:
+    """``(root, node_table)`` rebuilt from a spec.
+
+    The node table is indexed by the node ids :func:`encode_plan` produced,
+    which is how process-mode workers resolve per-node task messages.
+    """
+    if not (isinstance(spec, tuple) and len(spec) == 3 and spec[0] == SPEC_VERSION):
+        raise PlanCodecError(f"not a {SPEC_VERSION} spec: {spec!r:.80}")
+    _version, node_specs, root = spec
+    nodes: List[Plan] = []
+    for node_spec in node_specs:
+        nodes.append(_decode_node(node_spec, nodes))
+    if not (0 <= root < len(nodes)):
+        raise PlanCodecError(f"root index {root} out of range")
+    return nodes[root], tuple(nodes)
+
+
+def spec_to_plan(spec: Tuple) -> Plan:
+    """The plan a spec describes (sharing preserved)."""
+    return decode_plan(spec)[0]
+
+
+# ---------------------------------------------------------------------------
+# the node vocabulary
+# ---------------------------------------------------------------------------
+
+def _encode_node(node: Plan, visit) -> Tuple:
+    if type(node) is Scan:
+        return ("scan", node.relation, node.pattern)
+    if type(node) is DomainScan:
+        return ("domain_scan", node.columns[0])
+    if type(node) is DomainProduct:
+        return ("domain_product", node.columns)
+    if type(node) is ConstantTable:
+        # rows sorted by repr: frozenset order is arbitrary, the spec must
+        # be deterministic for the round-trip identity guarantee
+        return (
+            "constant",
+            node.columns,
+            tuple(sorted(node._data, key=repr)),
+        )
+    if type(node) is SingletonIfActive:
+        return ("singleton", node.columns[0], node.value)
+    if type(node) is DomainDiagonal:
+        return ("diagonal", node.columns[0], node.columns[1])
+    if type(node) is Select:
+        if node.formula is None:
+            raise PlanCodecError(
+                f"Select[{node.description}] has no source formula; "
+                "opaque predicates cannot cross a process boundary"
+            )
+        depends = None if node.depends is None else tuple(sorted(node.depends))
+        return (
+            "select",
+            visit(node.child),
+            node.formula,
+            node.description,
+            depends,
+        )
+    if type(node) is Project:
+        return ("project", visit(node.child), node.columns)
+    if type(node) is HashJoin:
+        return ("join", visit(node.left), visit(node.right))
+    if type(node) is Antijoin:
+        return ("antijoin", visit(node.left), visit(node.right))
+    if type(node) is UnionAll:
+        return ("union", tuple(visit(part) for part in node.parts))
+    if type(node) is DomainComplement:
+        return ("complement", visit(node.child))
+    if type(node) is GroupCount:
+        return ("group_count", visit(node.child), node.columns, node.threshold)
+    raise PlanCodecError(f"no spec form for plan node {type(node).__name__}")
+
+
+def _decode_node(spec: Tuple, nodes: List[Plan]) -> Plan:
+    try:
+        kind = spec[0]
+        if kind == "scan":
+            return Scan(spec[1], spec[2])
+        if kind == "domain_scan":
+            return DomainScan(spec[1])
+        if kind == "domain_product":
+            return DomainProduct(spec[1])
+        if kind == "constant":
+            return ConstantTable(spec[1], spec[2])
+        if kind == "singleton":
+            return SingletonIfActive(spec[1], spec[2])
+        if kind == "diagonal":
+            return DomainDiagonal(spec[1], spec[2])
+        if kind == "select":
+            from .compile import predicate_for
+
+            child = nodes[spec[1]]
+            formula = spec[2]
+            depends = spec[4]
+            return Select(
+                child,
+                predicate_for(formula, child.columns),
+                description=spec[3],
+                depends=None if depends is None else frozenset(depends),
+                formula=formula,
+            )
+        if kind == "project":
+            return Project(nodes[spec[1]], spec[2])
+        if kind == "join":
+            return HashJoin(nodes[spec[1]], nodes[spec[2]])
+        if kind == "antijoin":
+            return Antijoin(nodes[spec[1]], nodes[spec[2]])
+        if kind == "union":
+            return UnionAll(tuple(nodes[i] for i in spec[1]))
+        if kind == "complement":
+            return DomainComplement(nodes[spec[1]])
+        if kind == "group_count":
+            return GroupCount(nodes[spec[1]], spec[2], spec[3])
+    except PlanCodecError:
+        raise
+    except (IndexError, TypeError, KeyError) as exc:
+        raise PlanCodecError(f"malformed node spec {spec!r:.80}: {exc}") from exc
+    raise PlanCodecError(f"unknown node spec kind {spec[:1]!r}")

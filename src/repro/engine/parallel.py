@@ -42,6 +42,14 @@ shards, not the database.  This is the scale-out story measured by
 ``benchmarks/bench_e17_sharded.py``, and because routing is stable across
 processes (:func:`repro.db.sharding.shard_of`), the same decomposition is the
 unit of distribution for later multi-process deployments.
+
+**Executors.** *How* the per-shard tasks run is delegated to
+:mod:`repro.engine.executors`: inline, on a thread pool (the default —
+cheap, but GIL-bound), or on a pool of long-lived worker processes
+(``REPRO_SHARD_PROCS`` / ``procs=``) that own their shards' relations
+persistently and receive plans, deltas and broadcast tables over a compact
+wire protocol — true multi-core scaling for CPU-bound operator work,
+measured by ``benchmarks/bench_e19_scaling.py``.
 """
 
 from __future__ import annotations
@@ -50,7 +58,6 @@ import itertools
 import os
 import threading
 import weakref
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..db.database import Database
@@ -61,9 +68,22 @@ from ..db.sharding import (
     shards_from_env,
 )
 from .backend import CompiledBackend, _MAX_PROVENANCE_CHAIN, _LRU
+from .executors import make_shard_executor
 from .optimize import OptimizerParams
 from .plan import (
+    build_left_table as _build_left_table,
+)
+from .plan import (
+    build_right_table as _build_right_table,
+)
+from .plan import (
+    group_count_rows as _group_count_rows,
+)
+from .plan import (
     join_key as _join_key,
+)
+from .plan import (
+    join_rows as _join_rows,
 )
 from .plan import (
     Antijoin,
@@ -83,7 +103,7 @@ from .plan import (
     UnionAll,
 )
 
-__all__ = ["POOL_ENV", "ShardedBackend"]
+__all__ = ["POOL_ENV", "PROCS_ENV", "ShardedBackend"]
 
 Row = Tuple[object, ...]
 Rows = FrozenSet[Row]
@@ -93,6 +113,9 @@ _EMPTY_DEPENDS: FrozenSet[str] = frozenset()
 
 #: environment knob: worker threads of the per-shard pool (0 = inline)
 POOL_ENV = "REPRO_SHARD_THREADS"
+
+#: environment knob: worker *processes* (0/unset = stay on threads)
+PROCS_ENV = "REPRO_SHARD_PROCS"
 
 
 def _pool_threads_from_env(num_shards: int) -> int:
@@ -111,61 +134,15 @@ def _pool_threads_from_env(num_shards: int) -> int:
     return min(num_shards, os.cpu_count() or 1)
 
 
-def _join_rows(node: HashJoin, left_rows: Rows, right_rows: Rows) -> Rows:
-    """The serial :class:`HashJoin` semantics over explicit inputs."""
-    shared = node.shared
-    if not node._right_extra:
-        if not shared:
-            return left_rows if right_rows else _EMPTY
-        right_key = _join_key(node.right.columns, shared)
-        keys = {right_key(r) for r in right_rows}
-        left_key = _join_key(node.left.columns, shared)
-        return frozenset(row for row in left_rows if left_key(row) in keys)
-    if not shared:
-        return frozenset(l + r for l in left_rows for r in right_rows)
-    right_key = _join_key(node.right.columns, shared)
-    extra_indices = tuple(node.right.columns.index(c) for c in node._right_extra)
-    table: Dict[Row, List[Row]] = {}
-    for row in right_rows:
-        table.setdefault(right_key(row), []).append(
-            tuple(row[i] for i in extra_indices)
-        )
-    left_key = _join_key(node.left.columns, shared)
-    out = set()
-    for row in left_rows:
-        for extra in table.get(left_key(row), ()):
-            out.add(row + extra)
-    return frozenset(out)
-
-
-def _build_right_table(node: HashJoin, right_rows: Rows) -> Dict[Row, Tuple[Row, ...]]:
-    """``join key -> right-extra tuples`` for probing left rows (built once)."""
-    right_key = _join_key(node.right.columns, node.shared)
-    extra_indices = tuple(node.right.columns.index(c) for c in node._right_extra)
-    table: Dict[Row, List[Row]] = {}
-    for row in right_rows:
-        table.setdefault(right_key(row), []).append(
-            tuple(row[i] for i in extra_indices)
-        )
-    return {key: tuple(values) for key, values in table.items()}
-
-
-def _build_left_table(node: HashJoin, left_rows: Rows) -> Dict[Row, Tuple[Row, ...]]:
-    """``join key -> full left rows`` for probing right rows (built once)."""
-    left_key = _join_key(node.left.columns, node.shared)
-    table: Dict[Row, List[Row]] = {}
-    for row in left_rows:
-        table.setdefault(left_key(row), []).append(row)
-    return {key: tuple(values) for key, values in table.items()}
-
-
-def _group_count_rows(node: GroupCount, rows: Rows) -> Rows:
-    key = _join_key(node.child.columns, node.columns)
-    counts: Dict[Row, int] = {}
-    for row in rows:
-        group = key(row)
-        counts[group] = counts.get(group, 0) + 1
-    return frozenset(g for g, n in counts.items() if n >= node.threshold)
+def _procs_from_env() -> int:
+    """Worker processes: ``REPRO_SHARD_PROCS`` (0/unset keeps thread mode)."""
+    raw = os.environ.get(PROCS_ENV, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return 0
 
 
 class _ShardResult:
@@ -242,6 +219,9 @@ class _ShardedRun:
     # -- driving -----------------------------------------------------------------
 
     def execute(self, plan: Plan) -> Rows:
+        # the process executor encodes the whole DAG from this root (and
+        # addresses nodes by their index in its spec)
+        self.root_plan = plan
         return self.visit(plan).merged()
 
     def visit(self, node: Plan) -> _ShardResult:
@@ -269,9 +249,9 @@ class _ShardedRun:
         if isinstance(node, DomainComplement):
             return self._complement(node)
         if isinstance(node, DomainScan):
-            return self._domain_leaf(node, lambda v: (v,))
+            return self._domain_leaf(node, lambda v: (v,), "scan")
         if isinstance(node, DomainDiagonal):
-            return self._domain_leaf(node, lambda v: (v, v))
+            return self._domain_leaf(node, lambda v: (v, v), "diag")
         if isinstance(node, DomainProduct):
             return self._domain_product(node)
         if isinstance(node, (ConstantTable, SingletonIfActive)):
@@ -288,6 +268,7 @@ class _ShardedRun:
         fn: Callable[[int], object],
         key: Optional[Tuple] = None,
         per_index_key: bool = False,
+        task: Optional[Tuple] = None,
     ) -> List[object]:
         """Evaluate ``fn(i)`` per shard, through the backend's shard cache.
 
@@ -297,6 +278,11 @@ class _ShardedRun:
         dependency is part of the key (``per_index_key`` appends the shard
         index and count for domain-split operators whose partials depend on
         position, not contents).
+
+        ``task`` declaratively describes what ``fn`` computes so the
+        process executor can ship it to a worker instead of running the
+        closure here; ``None`` marks work that must stay in-process (e.g.
+        selections whose predicate reads the merged database).
         """
         backend = self.backend
         parts: List[object] = [None] * self.n
@@ -312,18 +298,17 @@ class _ShardedRun:
                     parts[i] = hit
                     continue
             pending.append(i)
-        if key is not None and len(pending) < self.n:
-            backend._bump("shard_hits", self.n - len(pending))
+        if key is not None:
+            hit_indices = [i for i in range(self.n) if i not in set(pending)]
+            backend._count_shard_lookups(hit_indices, pending)
         if pending:
-            if key is not None:
-                backend._bump("shard_misses", len(pending))
-            pool = backend._pool
-            if pool is not None and len(pending) > 1:
-                for i, value in zip(pending, pool.map(fn, pending)):
-                    parts[i] = value
+            executor = backend._executor
+            if executor is None:  # backend closed: degrade to inline
+                values = {i: fn(i) for i in pending}
             else:
-                for i in pending:
-                    parts[i] = fn(i)
+                values = executor.map_pending(self, node, fn, pending, keys, task)
+            for i in pending:
+                parts[i] = values[i]
             if key is not None:
                 for i in pending:
                     backend._shard_cache_put(self.shards[i], keys[i], parts[i])
@@ -367,7 +352,8 @@ class _ShardedRun:
 
     def _scan(self, node: Scan) -> _ShardResult:
         parts = self.per_shard(
-            node, lambda i: node._rows(self.shard_ctxs[i]), key=self.base_key
+            node, lambda i: node._rows(self.shard_ctxs[i]), key=self.base_key,
+            task=("scan",),
         )
         kind, spec = node.pattern[PARTITION_COLUMN]
         partition = spec if kind == "var" else None
@@ -375,13 +361,16 @@ class _ShardedRun:
             parts=tuple(parts), partition=partition, disjoint=True, local=True
         )
 
-    def _domain_leaf(self, node: Plan, make: Callable[[object], Row]) -> _ShardResult:
+    def _domain_leaf(
+        self, node: Plan, make: Callable[[object], Row], shape: str
+    ) -> _ShardResult:
         dom_parts = self.domain_parts()
         parts = self.per_shard(
             node,
             lambda i: frozenset(make(v) for v in dom_parts[i]),
             key=self.base_key,
             per_index_key=True,
+            task=("dscan", shape),
         )
         # local: the part is a pure function of (domain, index, count) — all
         # of which ancestor cache keys carry once `indexed` propagates
@@ -394,14 +383,16 @@ class _ShardedRun:
         if not node.columns:
             return _ShardResult.whole(frozenset({()}))
         if len(node.columns) == 1:
-            return self._domain_leaf(node, lambda v: (v,))
+            return self._domain_leaf(node, lambda v: (v,), "scan")
         dom_parts = self.domain_parts()
         rest = (tuple(self.domain),) * (len(node.columns) - 1)
 
         def fn(i: int) -> Rows:
             return frozenset(itertools.product(dom_parts[i], *rest))
 
-        parts = self.per_shard(node, fn, key=self.base_key, per_index_key=True)
+        parts = self.per_shard(
+            node, fn, key=self.base_key, per_index_key=True, task=("dprod",)
+        )
         return _ShardResult(
             parts=tuple(parts), partition=node.columns[0], disjoint=True,
             local=True, indexed=True,
@@ -432,6 +423,8 @@ class _ShardedRun:
             lambda i: frozenset(r for r in child.parts[i] if predicate(r, gctx)),
             key=key,
             per_index_key=child.indexed,
+            # predicates reading merged base relations must stay in-process
+            task=("select", node.child) if node.depends == _EMPTY_DEPENDS else None,
         )
         return _ShardResult(
             parts=tuple(parts),
@@ -456,6 +449,7 @@ class _ShardedRun:
             ),
             key=self.base_key if child.local else None,
             per_index_key=child.indexed,
+            task=("project", node.child),
         )
         partition = child.partition if child.partition in node.columns else None
         disjoint = partition is not None or (
@@ -488,6 +482,7 @@ class _ShardedRun:
                 lambda i: _join_rows(node, left.parts[i], right.parts[i]),
                 key=self.base_key if local else None,
                 per_index_key=indexed,
+                task=("join_co", node.left, node.right),
             )
             return _ShardResult(
                 parts=tuple(parts), partition=left.partition, disjoint=True,
@@ -564,7 +559,15 @@ class _ShardedRun:
                 if kept.local
                 else None
             )
-            parts = self.per_shard(node, fn, key=key, per_index_key=kept.indexed)
+            parts = self.per_shard(
+                node, fn, key=key, per_index_key=kept.indexed,
+                task=(
+                    "join_b",
+                    node.left if keep_left else node.right,
+                    keep_left,
+                    broadcast,
+                ),
+            )
             partition = kept.partition
             return _ShardResult(
                 parts=tuple(parts),
@@ -605,6 +608,7 @@ class _ShardedRun:
             parts = self.per_shard(
                 node, co_fn, key=self.base_key if local else None,
                 per_index_key=indexed,
+                task=("anti_co", node.left, node.right),
             )
             return _ShardResult(
                 parts=tuple(parts), partition=left.partition,
@@ -647,7 +651,10 @@ class _ShardedRun:
             return frozenset(r for r in left.parts[i] if left_key(r) not in keys)
 
         key = self.base_key + (broadcast,) if left.local else None
-        parts = self.per_shard(node, fn, key=key, per_index_key=left.indexed)
+        parts = self.per_shard(
+            node, fn, key=key, per_index_key=left.indexed,
+            task=("anti_b", node.left, broadcast),
+        )
         return _ShardResult(
             parts=tuple(parts), partition=left.partition,
             disjoint=left.disjoint, local=False, indexed=left.indexed,
@@ -669,6 +676,7 @@ class _ShardedRun:
             lambda i: frozenset().union(*(child.parts[i] for child in children)),
             key=self.base_key if local else None,
             per_index_key=indexed,
+            task=("union", node.parts),
         )
         partitions = {child.partition for child in children}
         partition = partitions.pop() if len(partitions) == 1 else None
@@ -693,6 +701,7 @@ class _ShardedRun:
                 lambda i: _group_count_rows(node, child.parts[i]),
                 key=self.base_key if child.local else None,
                 per_index_key=child.indexed,
+                task=("group", node.child),
             )
             return _ShardResult(
                 parts=tuple(parts), partition=child.partition, disjoint=True,
@@ -714,6 +723,7 @@ class _ShardedRun:
                 node, partial,
                 key=self.base_key + ("partial",) if child.local else None,
                 per_index_key=child.indexed,
+                task=("gpart", node.child),
             )
             totals: Dict[Row, int] = {}
             for counts in partials:
@@ -752,7 +762,8 @@ class _ShardedRun:
             )
 
         parts = self.per_shard(
-            node, fn, key=self.base_key + (merged,), per_index_key=True
+            node, fn, key=self.base_key + (merged,), per_index_key=True,
+            task=("compl", node.child, merged),
         )
         # not local: the child's merged rows are a cross-shard input that
         # ancestor keys would not carry (it is this node's own fingerprint)
@@ -798,6 +809,10 @@ class ShardedBackend(CompiledBackend):
     ``shards`` defaults to the ``REPRO_SHARDS`` environment knob; the
     per-shard thread pool defaults to ``min(shards, cpu count)`` workers
     (``REPRO_SHARD_THREADS`` overrides, 0 forces inline execution).
+    ``procs`` (or ``REPRO_SHARD_PROCS``) switches per-shard execution to a
+    pool of long-lived worker *processes* — true multi-core for CPU-bound
+    operator work; see :mod:`repro.engine.executors` for the protocol and
+    the fallback ladder (threads stay the default).
     """
 
     name = "sharded"
@@ -806,6 +821,7 @@ class ShardedBackend(CompiledBackend):
         self,
         shards: Optional[int] = None,
         pool_threads: Optional[int] = None,
+        procs: Optional[int] = None,
         **kwargs,
     ):
         super().__init__(**kwargs)
@@ -830,6 +846,10 @@ class ShardedBackend(CompiledBackend):
         self._promote_lock = threading.Lock()
         self.shard_hits = 0
         self.shard_misses = 0
+        # per-shard hit/miss breakdowns (guarded by the inherited counter
+        # lock: per_shard reports from pool callbacks on several threads)
+        self._shard_hits_by_shard: Dict[int, int] = {}
+        self._shard_misses_by_shard: Dict[int, int] = {}
         # (domain, shard count) -> per-shard domain split, shared by runs
         self._domain_splits = _LRU(64)
         # canonical live objects for recently-seen quantification domains
@@ -842,24 +862,23 @@ class ShardedBackend(CompiledBackend):
             if pool_threads is None
             else max(0, int(pool_threads))
         )
-        self._pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
-            if workers > 1
-            else None
+        self.procs = _procs_from_env() if procs is None else max(0, int(procs))
+        self._executor = make_shard_executor(
+            self.num_shards, workers, self.procs, self._memo_size
         )
 
     # -- cache plumbing ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the per-shard thread pool (idempotent).
+        """Shut down the per-shard executor (idempotent).
 
         Short-lived backends (benchmark sweeps, test matrices) should call
-        this — or rely on ``__del__`` — so worker threads do not outlive
-        their backend until garbage collection happens to run.
+        this — or rely on ``__del__`` — so worker threads/processes do not
+        outlive their backend until garbage collection happens to run.
         """
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=False)
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
 
     def __del__(self):  # pragma: no cover - interpreter-dependent timing
         try:
@@ -871,12 +890,37 @@ class ShardedBackend(CompiledBackend):
         super().clear_caches()
         with self._shard_memo_lock:
             self._shard_memo.clear()
+        if self._executor is not None:
+            self._executor.evict()
 
     def cache_stats(self) -> Dict[str, int]:
         stats = super().cache_stats()
         with self._shard_memo_lock:
             stats["shard_partials"] = sum(len(lru) for lru in self._shard_memo.values())
+        with self._counter_lock:
+            stats["shard_hits"] = self.shard_hits
+            stats["shard_misses"] = self.shard_misses
+            stats["shard_hits_by_shard"] = dict(self._shard_hits_by_shard)
+            stats["shard_misses_by_shard"] = dict(self._shard_misses_by_shard)
+        if self._executor is not None:
+            stats.update(self._executor.stats())
         return stats
+
+    def _count_shard_lookups(
+        self, hit_indices: Sequence[int], miss_indices: Sequence[int]
+    ) -> None:
+        """Lock-safe shard-cache accounting with per-shard breakdowns."""
+        if not hit_indices and not miss_indices:
+            return
+        with self._counter_lock:
+            self.shard_hits += len(hit_indices)
+            self.shard_misses += len(miss_indices)
+            by_hit = self._shard_hits_by_shard
+            for i in hit_indices:
+                by_hit[i] = by_hit.get(i, 0) + 1
+            by_miss = self._shard_misses_by_shard
+            for i in miss_indices:
+                by_miss[i] = by_miss.get(i, 0) + 1
 
     def _shard_cache_get(self, shard: Database, key: Tuple):
         with self._shard_memo_lock:
@@ -986,9 +1030,14 @@ class ShardedBackend(CompiledBackend):
         """Partition-aware costing: co-partitioned joins parallelise across
         the shards, broadcast joins pay to replicate their smaller side —
         which steers the join reorderer towards orders that keep the
-        partition column in the join key (the repartition points)."""
+        partition column in the join key (the repartition points).  In
+        process mode broadcasts additionally pay the serialization term
+        (rows cross a process boundary, not just a function call)."""
+        executor = self._executor
         return OptimizerParams(
-            num_shards=self.num_shards, partition_column=PARTITION_COLUMN
+            num_shards=self.num_shards,
+            partition_column=PARTITION_COLUMN,
+            executor="threads" if executor is None else executor.kind,
         )
 
     def _execute_plan(self, plan: Plan, ctx: ExecutionContext) -> Rows:
@@ -1018,4 +1067,5 @@ class ShardedBackend(CompiledBackend):
         return PlanState(rows)
 
     def __repr__(self) -> str:
-        return f"<ShardedBackend shards={self.num_shards}>"
+        kind = "closed" if self._executor is None else self._executor.kind
+        return f"<ShardedBackend shards={self.num_shards} executor={kind}>"

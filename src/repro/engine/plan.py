@@ -46,6 +46,10 @@ from ..logic.signature import EMPTY_SIGNATURE, Signature
 __all__ = [
     "PlanError",
     "join_key",
+    "join_rows",
+    "build_right_table",
+    "build_left_table",
+    "group_count_rows",
     "ExecutionContext",
     "Plan",
     "Scan",
@@ -421,6 +425,69 @@ def join_key(columns: Sequence[str], shared: Sequence[str]) -> Callable[[Row], R
 
 
 _join_key = join_key
+
+
+def join_rows(node: "HashJoin", left_rows: Rows, right_rows: Rows) -> Rows:
+    """The serial :class:`HashJoin` semantics over explicit inputs.
+
+    Shared by the sharded executor (which feeds per-shard partials) and the
+    process-mode worker loop (which receives the inputs over IPC), so both
+    evaluate joins with exactly the in-process operator's semantics.
+    """
+    shared = node.shared
+    if not node._right_extra:
+        if not shared:
+            return left_rows if right_rows else frozenset()
+        right_key = _join_key(node.right.columns, shared)
+        keys = {right_key(r) for r in right_rows}
+        left_key = _join_key(node.left.columns, shared)
+        return frozenset(row for row in left_rows if left_key(row) in keys)
+    if not shared:
+        return frozenset(l + r for l in left_rows for r in right_rows)
+    right_key = _join_key(node.right.columns, shared)
+    extra_indices = tuple(node.right.columns.index(c) for c in node._right_extra)
+    table: Dict[Row, List[Row]] = {}
+    for row in right_rows:
+        table.setdefault(right_key(row), []).append(
+            tuple(row[i] for i in extra_indices)
+        )
+    left_key = _join_key(node.left.columns, shared)
+    out = set()
+    for row in left_rows:
+        for extra in table.get(left_key(row), ()):
+            out.add(row + extra)
+    return frozenset(out)
+
+
+def build_right_table(node: "HashJoin", right_rows: Rows) -> Dict[Row, Tuple[Row, ...]]:
+    """``join key -> right-extra tuples`` for probing left rows (built once)."""
+    right_key = _join_key(node.right.columns, node.shared)
+    extra_indices = tuple(node.right.columns.index(c) for c in node._right_extra)
+    table: Dict[Row, List[Row]] = {}
+    for row in right_rows:
+        table.setdefault(right_key(row), []).append(
+            tuple(row[i] for i in extra_indices)
+        )
+    return {key: tuple(values) for key, values in table.items()}
+
+
+def build_left_table(node: "HashJoin", left_rows: Rows) -> Dict[Row, Tuple[Row, ...]]:
+    """``join key -> full left rows`` for probing right rows (built once)."""
+    left_key = _join_key(node.left.columns, node.shared)
+    table: Dict[Row, List[Row]] = {}
+    for row in left_rows:
+        table.setdefault(left_key(row), []).append(row)
+    return {key: tuple(values) for key, values in table.items()}
+
+
+def group_count_rows(node: "GroupCount", rows: Rows) -> Rows:
+    """The serial :class:`GroupCount` semantics over explicit input rows."""
+    key = _join_key(node.child.columns, node.columns)
+    counts: Dict[Row, int] = {}
+    for row in rows:
+        group = key(row)
+        counts[group] = counts.get(group, 0) + 1
+    return frozenset(g for g, n in counts.items() if n >= node.threshold)
 
 
 class HashJoin(Plan):

@@ -175,8 +175,10 @@ class TransactionService:
         commit_timeout: float = 60.0,
         backend: Optional[Backend] = None,
         history_limit: int = 1024,
+        owns_backend: bool = False,
     ):
         self.backend = backend if backend is not None else active_backend()
+        self._owns_backend = owns_backend and backend is not None
         if isinstance(store, Database):
             # under a sharded backend the canonical store materialises
             # hash-partitioned snapshots: every pinned version is a
@@ -205,6 +207,20 @@ class TransactionService:
         #: the commit lock; read-only commits never enter the pipeline and
         #: serialize at their snapshot point instead)
         self.commit_log: List[object] = []
+
+    def close(self) -> None:
+        """Release service-owned resources.
+
+        When the service was built with ``owns_backend=True`` (as
+        :func:`~repro.service.workloads.build_service` does for dedicated
+        sharded/process backends) this shuts down the backend's worker
+        pool; a shared/ambient backend is left untouched.  Idempotent.
+        """
+        if self._owns_backend:
+            self._owns_backend = False
+            closer = getattr(self.backend, "close", None)
+            if closer is not None:
+                closer()
 
     # -- registration and reads ----------------------------------------------------
 

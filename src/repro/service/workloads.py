@@ -8,7 +8,11 @@ benchmarks (a single binary relation ``E``, the ``no-loops`` and
 * ``write-heavy`` — mostly safe forward-edge inserts and deletes;
 * ``constraint-heavy`` — a large share of *risky* arbitrary-edge inserts
   (loops, back-edges), exercising the guarded admission path and rejections;
-* ``mixed`` — a blend of all of the above (the E16 headline scenario).
+* ``mixed`` — a blend of all of the above (the E16 headline scenario);
+* ``hot-key`` — the mixed blend with *Zipfian* account selection: a handful
+  of hot accounts absorb most of the traffic, so concurrent writers collide
+  on the same edges and the optimistic validation path actually retries
+  (non-zero ``abort_rate``), where the uniform scenarios almost never do.
 
 Every operation is a deterministic closure over the tracked
 :class:`~repro.service.snapshots.SnapshotTransaction` API, tagged with the
@@ -32,6 +36,7 @@ import os
 import random
 import threading
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -75,7 +80,7 @@ NO_TRIANGLES = _parse()(
     "forall x . forall y . forall z . (E(x, y) & E(y, z)) -> ~E(z, x)"
 )
 
-SCENARIOS = ("read-heavy", "write-heavy", "constraint-heavy", "mixed")
+SCENARIOS = ("read-heavy", "write-heavy", "constraint-heavy", "mixed", "hot-key")
 
 #: environment knob: the workload seed (set by ``benchmarks/run_all.py --seed``
 #: and by the test harness, so a failing run can be replayed exactly)
@@ -98,7 +103,15 @@ _MIXES: Dict[str, Tuple[float, float, float, float]] = {
     "write-heavy": (0.20, 0.55, 0.25, 0.00),
     "constraint-heavy": (0.15, 0.30, 0.15, 0.40),
     "mixed": (0.50, 0.28, 0.12, 0.10),
+    "hot-key": (0.20, 0.45, 0.25, 0.10),
 }
+
+#: scenarios whose account picker is Zipfian instead of uniform
+_ZIPF_SCENARIOS = frozenset({"hot-key"})
+
+#: Zipf exponent for the hot-key picker — well above 1, so the first few
+#: accounts absorb most of the traffic and writers collide on their edges
+_ZIPF_S = 1.5
 
 
 def standard_constraints() -> List[Constraint]:
@@ -221,6 +234,8 @@ def build_service(
     initial: Database,
     max_retries: int = 8,
     commit_timeout: float = 60.0,
+    shards: Optional[int] = None,
+    procs: Optional[int] = None,
 ) -> TransactionService:
     """A service over ``initial`` with the standard constraints and templates.
 
@@ -228,13 +243,27 @@ def build_service(
     process and shared (see :func:`_standard_admission`), so repeated
     ``build_service`` calls — one per test, one per benchmark phase — pay for
     admission verdicts exactly once.
+
+    By default the service evaluates on the ambient backend.  Passing
+    ``shards`` (and optionally ``procs``, the ``REPRO_SHARD_PROCS``
+    equivalent) builds a *dedicated* :class:`~repro.engine.parallel.
+    ShardedBackend` owned by the service — call
+    :meth:`~repro.service.scheduler.TransactionService.close` when done so
+    its process pool shuts down promptly.
     """
     from ..engine.backend import active_backend
 
     admission, constraints = _standard_admission()
-    backend = active_backend()
+    backend = None
+    owns_backend = False
+    if shards is not None or procs is not None:
+        from ..engine.parallel import ShardedBackend
+
+        backend = ShardedBackend(shards=shards, procs=procs)
+        owns_backend = True
+    ambient = backend if backend is not None else active_backend()
     store = Store(
-        GRAPH_SCHEMA, initial, shards=getattr(backend, "num_shards", None)
+        GRAPH_SCHEMA, initial, shards=getattr(ambient, "num_shards", None)
     )
     return TransactionService(
         store,
@@ -242,6 +271,8 @@ def build_service(
         admission=admission,
         max_retries=max_retries,
         commit_timeout=commit_timeout,
+        backend=backend,
+        owns_backend=owns_backend,
     )
 
 
@@ -261,10 +292,41 @@ class WorkItem:
 
 _OUT_DEGREE = Exists("y", Atom("E", Var("x"), Var("y")))
 
+#: an account picker: () -> account id (uniform or Zipfian over the pool)
+Picker = Callable[[], int]
 
-def _make_read(rng: random.Random, accounts: int) -> WorkItem:
-    a = rng.randrange(accounts)
-    b = rng.randrange(accounts)
+
+def _uniform_picker(rng: random.Random, accounts: int) -> Picker:
+    return lambda: rng.randrange(accounts)
+
+
+def _zipf_cdf(accounts: int, s: float = _ZIPF_S) -> Tuple[float, ...]:
+    """Cumulative Zipf(s) weights over ranks ``0..accounts-1``."""
+    weights = [1.0 / ((rank + 1) ** s) for rank in range(accounts)]
+    total = sum(weights)
+    acc = 0.0
+    cdf = []
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+    cdf[-1] = 1.0
+    return tuple(cdf)
+
+
+_ZIPF_CDF_CACHE: Dict[Tuple[int, float], Tuple[float, ...]] = {}
+
+
+def _zipf_picker(rng: random.Random, accounts: int, s: float = _ZIPF_S) -> Picker:
+    """Zipfian account picker: rank == account id, so account 0 is hottest."""
+    cdf = _ZIPF_CDF_CACHE.get((accounts, s))
+    if cdf is None:
+        cdf = _ZIPF_CDF_CACHE[(accounts, s)] = _zipf_cdf(accounts, s)
+    return lambda: bisect_left(cdf, rng.random())
+
+
+def _make_read(rng: random.Random, pick: Picker) -> WorkItem:
+    a = pick()
+    b = pick()
 
     def read(handle: SnapshotTransaction) -> bool:
         hit = handle.contains("E", (min(a, b), max(a, b)))
@@ -275,11 +337,11 @@ def _make_read(rng: random.Random, accounts: int) -> WorkItem:
     return WorkItem("read", None, (a, b), read)
 
 
-def _make_link(rng: random.Random, accounts: int) -> WorkItem:
-    a = rng.randrange(accounts)
-    b = rng.randrange(accounts)
+def _make_link(rng: random.Random, pick: Picker) -> WorkItem:
+    a = pick()
+    b = pick()
     while b == a:
-        b = rng.randrange(accounts)
+        b = pick()
     a, b = min(a, b), max(a, b)
 
     def link(handle: SnapshotTransaction) -> bool:
@@ -288,9 +350,30 @@ def _make_link(rng: random.Random, accounts: int) -> WorkItem:
     return WorkItem("link-forward", "link-forward", (a, b), link)
 
 
-def _make_unlink(rng: random.Random, accounts: int) -> WorkItem:
-    a = rng.randrange(accounts)
-    b = rng.randrange(accounts)
+def _make_check_link(rng: random.Random, pick: Picker) -> WorkItem:
+    """Read-then-link: validate the referrer is active, then insert.
+
+    The tracked predicate read puts every edge out of ``a`` into the
+    transaction's validated footprint, so a concurrent commit touching the
+    same (hot) account invalidates this attempt and forces a retry — the
+    contention signal the ``hot-key`` scenario exists to measure.
+    """
+    a = pick()
+    b = pick()
+    while b == a:
+        b = pick()
+    a, b = min(a, b), max(a, b)
+
+    def check_link(handle: SnapshotTransaction) -> bool:
+        handle.evaluate(_OUT_DEGREE, x=a)
+        return handle.insert("E", (a, b))
+
+    return WorkItem("link-forward", "link-forward", (a, b), check_link)
+
+
+def _make_unlink(rng: random.Random, pick: Picker) -> WorkItem:
+    a = pick()
+    b = pick()
     a, b = min(a, b), max(a, b)
 
     def unlink(handle: SnapshotTransaction) -> bool:
@@ -299,14 +382,14 @@ def _make_unlink(rng: random.Random, accounts: int) -> WorkItem:
     return WorkItem("unlink", "unlink", (a, b), unlink)
 
 
-def _make_add_edge(rng: random.Random, accounts: int) -> WorkItem:
-    a = rng.randrange(accounts)
+def _make_add_edge(rng: random.Random, pick: Picker) -> WorkItem:
+    a = pick()
     # ~10% loops, ~45% back-edges, rest forward — the risky template
     roll = rng.random()
     if roll < 0.10:
         b = a
     else:
-        b = rng.randrange(accounts)
+        b = pick()
         if roll < 0.55 and b != a:
             a, b = max(a, b), min(a, b)
 
@@ -321,6 +404,12 @@ _MAKERS = {
     "link-forward": _make_link,
     "unlink": _make_unlink,
     "add-edge": _make_add_edge,
+}
+
+#: scenario-specific maker overrides (hot-key links validate-then-write,
+#: which is what turns key skew into observable optimistic conflicts)
+_SCENARIO_MAKERS = {
+    "hot-key": {**_MAKERS, "link-forward": _make_check_link},
 }
 
 
@@ -343,11 +432,14 @@ def build_streams(
     read_w, link_w, unlink_w, add_w = _MIXES[scenario]
     kinds = ("read", "link-forward", "unlink", "add-edge")
     weights = (read_w, link_w, unlink_w, add_w)
+    make_picker = _zipf_picker if scenario in _ZIPF_SCENARIOS else _uniform_picker
+    makers = _SCENARIO_MAKERS.get(scenario, _MAKERS)
     streams: List[List[WorkItem]] = []
     for client in range(clients):
         rng = random.Random(1_000_003 * (seed + 1) + client)
+        pick = make_picker(rng, accounts)
         stream = [
-            _MAKERS[rng.choices(kinds, weights)[0]](rng, accounts)
+            makers[rng.choices(kinds, weights)[0]](rng, pick)
             for _ in range(ops_per_client)
         ]
         streams.append(stream)

@@ -108,6 +108,40 @@ class TestDelta:
         assert base.apply_delta(delta) == final
 
 
+class TestDeltaWire:
+    """The picklable wire form the process executor ships shard deltas in."""
+
+    @given(edge_sets(), edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_wire_round_trip_preserves_application(self, ins, dels):
+        ins = ins - dels
+        delta = Delta(inserted={"E": ins}, deleted={"E": dels})
+        back = Delta.from_wire(delta.to_wire())
+        assert back.inserted == delta.inserted
+        assert back.deleted == delta.deleted
+        base = Database.graph(dels)  # every deleted row present, so it applies
+        assert base.apply_delta(back) == base.apply_delta(delta)
+
+    @given(edge_sets(), edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_wire_is_deterministic_and_picklable(self, ins, dels):
+        import pickle
+
+        ins = ins - dels
+        delta = Delta(inserted={"E": ins}, deleted={"E": dels})
+        wire = delta.to_wire()
+        # same content -> same wire bytes: the wire form is canonical
+        assert Delta(inserted={"E": set(ins)}, deleted={"E": set(dels)}).to_wire() == wire
+        assert pickle.loads(pickle.dumps(wire)) == wire
+
+    def test_wire_version_is_checked(self):
+        wire = Delta(inserted={"E": [(0, 1)]}).to_wire()
+        with pytest.raises(DeltaError):
+            Delta.from_wire(("delta/0",) + wire[1:])
+        with pytest.raises(DeltaError):
+            Delta.from_wire("not a wire form")
+
+
 # ---------------------------------------------------------------------------
 # Database.apply_delta
 # ---------------------------------------------------------------------------

@@ -1,0 +1,217 @@
+"""The process-parallel shard executor (``REPRO_SHARD_PROCS``).
+
+Covers the tentpole guarantees end to end against the naive oracle:
+
+* shipped evaluation computes exactly the in-process answers, and really
+  does ship (``proc_tasks`` > 0, no silent inline degradation);
+* worker state is warm: a re-check after a small change transfers the
+  delta, not the database (content-keyed shard state ids);
+* unshippable work (closure predicates, unpicklable signatures) falls back
+  inline without changing answers;
+* a killed worker is respawned and re-attached mid-session — results match
+  the oracle and the crash is visible in ``proc_restarts``;
+* pool lifecycle: ``close()`` is idempotent and downgrades the backend to
+  inline execution instead of breaking it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, Delta, ShardedDatabase, chain, cycle
+from repro.db.sharding import ShardStateMachine
+from repro.engine import NaiveBackend, ShardedBackend
+from repro.logic import EvaluationError, arithmetic_signature, parse
+
+from strategies import graphs, maybe_seed, sentences
+
+from hypothesis import given, settings
+
+ORACLE = NaiveBackend()
+
+TWO_PATH = parse("forall x . forall y . E(x, y) -> (exists z . E(y, z))")
+NO_LOOPS = parse("forall x . ~E(x, x)")
+
+
+@pytest.fixture()
+def backend():
+    instance = ShardedBackend(shards=2, procs=2)
+    yield instance
+    instance.close()
+
+
+class TestShardStateMachine:
+    def test_attach_apply_evict(self):
+        machine = ShardStateMachine()
+        base = Database.graph([(0, 1)])
+        machine.attach(0, base, state_id="s0")
+        assert machine.shard(0) == base
+        assert machine.state_id(0) == "s0"
+        delta = Delta(inserted={"E": [(1, 2)]})
+        machine.apply(0, delta.to_wire(), state_id="s1")
+        assert machine.shard(0) == base.apply_delta(delta)
+        assert machine.state_id(0) == "s1"
+        assert machine.indexes() == (0,)
+        assert machine.sizes() == {0: 2}
+        machine.evict(0)
+        assert machine.state_id(0) is None
+
+    def test_apply_to_unattached_shard_raises(self):
+        from repro.db import DatabaseError
+
+        machine = ShardStateMachine()
+        with pytest.raises(DatabaseError):
+            machine.apply(3, Delta(inserted={"E": [(0, 1)]}))
+        with pytest.raises(DatabaseError):
+            machine.shard(3)
+
+
+class TestShippedEvaluation:
+    def test_agrees_with_oracle_and_actually_ships(self, backend):
+        db = chain(6)
+        assert backend.evaluate(TWO_PATH, db) == ORACLE.evaluate(TWO_PATH, db)
+        assert backend.evaluate(NO_LOOPS, db) == ORACLE.evaluate(NO_LOOPS, db)
+        formula = parse("E(x, y) & (exists z . E(y, z))")
+        assert backend.extension(formula, db, ("x", "y")) == ORACLE.extension(
+            formula, db, ("x", "y")
+        )
+        stats = backend.cache_stats()
+        assert stats["proc_workers"] == 2
+        assert stats["proc_tasks"] > 0
+        assert stats["proc_restarts"] == 0
+
+    @maybe_seed
+    @settings(max_examples=20, deadline=None)
+    @given(formula=sentences(max_leaves=5), db=graphs())
+    def test_property_conformance(self, formula, db):
+        # one backend per class of examples would leak pools; a fresh small
+        # one per example keeps the crash surface honest and is still fast
+        backend = ShardedBackend(shards=2, procs=1)
+        try:
+            assert backend.evaluate(formula, db) == ORACLE.evaluate(formula, db)
+        finally:
+            backend.close()
+
+    def test_cold_recheck_reuses_untouched_shard(self, backend):
+        db = cycle(8)
+        assert backend.evaluate(TWO_PATH, db)
+        warm = backend.cache_stats()["proc_tasks"]
+        # cold handoff (the E17 regime): same database plus one edge,
+        # rebuilt raw — no provenance, so incremental rules cannot engage
+        # and only the per-shard content caches can save work
+        edges = set(db.relation("E")) | {(3, 6)}
+        db2 = Database.graph(edges)
+        assert backend.evaluate(TWO_PATH, db2) == ORACLE.evaluate(TWO_PATH, db2)
+        stats = backend.cache_stats()
+        # the re-check dispatched work, but the untouched shard's partials
+        # were coordinator cache hits (content-keyed shard interning)
+        assert stats["proc_tasks"] > warm
+        assert stats["proc_fallbacks"] == 0
+        assert stats["shard_hits"] > 0
+        assert set(stats["shard_hits_by_shard"]) <= {0, 1}
+
+    def test_raising_evaluation_does_not_desync_the_pipes(self, backend):
+        # regression: a worker replying ("err", ...) triggers an inline
+        # fallback whose exception used to propagate while other replies
+        # were still in flight, shifting every later reply by one and
+        # corrupting the next batch's protocol framing
+        db = cycle(6)
+        assert backend.evaluate(TWO_PATH, db)
+        with pytest.raises(EvaluationError):
+            backend.evaluate(parse("R(x, x) & (exists z . R(x, z))"), db)
+        # the pool must keep answering correctly after the failure
+        for formula in (TWO_PATH, NO_LOOPS):
+            assert backend.evaluate(formula, db) == ORACLE.evaluate(formula, db)
+        stats = backend.cache_stats()
+        assert stats["proc_restarts"] == 0
+
+    def test_unpicklable_signature_falls_back_inline(self, backend):
+        signature = arithmetic_signature()
+        formula = parse("forall x . forall y . E(x, y) -> leq(x, y)",
+                        predicates=["leq"])
+        db = chain(5)
+        assert backend.evaluate(formula, db, signature=signature) == (
+            ORACLE.evaluate(formula, db, signature=signature)
+        )
+        stats = backend.cache_stats()
+        assert stats["proc_fallbacks"] > 0
+        assert stats["proc_restarts"] == 0
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_respawned(self, backend):
+        db = chain(6)
+        assert backend.evaluate(TWO_PATH, db) == ORACLE.evaluate(TWO_PATH, db)
+        backend._executor._workers[0].process.kill()
+        backend._executor._workers[0].process.join()
+        # a fresh database forces real dispatch into the dead worker
+        db2 = Database.graph([(0, 1), (1, 2), (2, 0), (3, 3)])
+        for formula in (TWO_PATH, NO_LOOPS):
+            assert backend.evaluate(formula, db2) == ORACLE.evaluate(formula, db2)
+        stats = backend.cache_stats()
+        assert stats["proc_restarts"] >= 1 or stats["proc_fallbacks"] > 0
+        assert stats["proc_workers"] == 2
+        # and the pool keeps serving afterwards
+        db3 = db2.apply_delta(Delta(deleted={"E": [(3, 3)]}))
+        assert backend.evaluate(NO_LOOPS, db3) == ORACLE.evaluate(NO_LOOPS, db3)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_degrades_inline(self):
+        backend = ShardedBackend(shards=2, procs=2)
+        db = chain(4)
+        expected = ORACLE.evaluate(TWO_PATH, db)
+        assert backend.evaluate(TWO_PATH, db) == expected
+        backend.close()
+        backend.close()
+        assert backend._executor is None
+        # evaluation still works — per-shard dispatch runs inline
+        assert backend.evaluate(TWO_PATH, chain(5)) == ORACLE.evaluate(
+            TWO_PATH, chain(5)
+        )
+
+    def test_procs_env_knob(self, monkeypatch):
+        from repro.engine.parallel import PROCS_ENV
+
+        monkeypatch.setenv(PROCS_ENV, "2")
+        backend = ShardedBackend(shards=2)
+        try:
+            assert backend.procs == 2
+            assert backend._executor.kind == "procs"
+        finally:
+            backend.close()
+        monkeypatch.setenv(PROCS_ENV, "not-a-number")
+        fallback = ShardedBackend(shards=2)
+        try:
+            assert fallback.procs == 0
+            assert fallback._executor.kind == "threads"
+        finally:
+            fallback.close()
+
+    def test_single_shard_never_spawns_processes(self):
+        backend = ShardedBackend(shards=1, procs=4)
+        try:
+            assert backend._executor.kind != "procs"
+            db = chain(4)
+            assert backend.evaluate(TWO_PATH, db) == ORACLE.evaluate(TWO_PATH, db)
+        finally:
+            backend.close()
+
+
+class TestServiceIntegration:
+    def test_build_service_owns_process_backend(self):
+        from repro.service import build_service, build_streams, run_workload
+        from repro.service.workloads import forward_graph
+
+        initial = forward_graph(30, 3, seed=5)
+        service = build_service(initial, shards=2, procs=2)
+        try:
+            assert service.backend.num_shards == 2
+            streams = build_streams("mixed", 2, 8, 30, seed=1)
+            report = run_workload(service, streams, workers=2)
+            assert report.committed > 0
+            assert service.invariant_holds()
+        finally:
+            service.close()
+        service.close()  # idempotent
+        assert service.backend._executor is None
