@@ -60,6 +60,16 @@ def emit_metric(name: str, payload: dict) -> None:
     print(f"BENCH-METRIC {json.dumps({'metric': name, **payload}, sort_keys=True)}")
 
 
+def latency_fields(report) -> dict:
+    """The per-scenario tail-latency slice of a WorkloadReport."""
+    return {
+        "p50_ms": round(report.latency_p50_ms, 3),
+        "p95_ms": round(report.latency_p95_ms, 3),
+        "p99_ms": round(report.latency_p99_ms, 3),
+        "max_ms": round(report.latency_max_ms, 3),
+    }
+
+
 def test_e16_mixed_throughput_vs_serial(benchmark):
     """The headline: mixed workload, 8 workers, >= 2x the serial baseline."""
     backend = active_backend()
@@ -105,6 +115,8 @@ def test_e16_mixed_throughput_vs_serial(benchmark):
             "aborted": report.aborted,
             "conflicts": report.conflicts,
             "serial_fallbacks": report.serial_fallbacks,
+            "serial_p99_ms": round(serial.latency_p99_ms, 3),
+            **latency_fields(report),
         },
     )
     if workers >= 8:
@@ -150,6 +162,7 @@ def test_e16_scenario_sweep(benchmark, scenario):
             "abort_rate": round(report.abort_rate, 4),
             "mean_batch": round(report.mean_batch, 2),
             "serial_fallbacks": report.serial_fallbacks,
+            **latency_fields(report),
         },
     )
     benchmark.extra_info.update(
@@ -205,6 +218,7 @@ def test_e16_hot_key_contention(benchmark):
             "abort_rate": round(report.abort_rate, 4),
             "mean_batch": round(report.mean_batch, 2),
             "serial_fallbacks": report.serial_fallbacks,
+            **latency_fields(report),
         },
     )
     assert report.conflicts > 0, (

@@ -1,0 +1,234 @@
+"""E20 — the durability tax and the recovery curve.
+
+Two questions the WAL engine must answer with numbers:
+
+1. **What does durability cost at commit time?**  The same single-writer
+   commit stream runs against the in-memory engine (WAL off), the WAL engine
+   with ``fsync="never"`` (framing + write-path overhead alone) and with
+   ``fsync="commit"`` (full power-loss durability, one fsync per commit).
+   The group-commit design means one append per *batch*; here every batch is
+   one transaction, so this is the worst-case per-commit overhead.
+
+2. **How does recovery time grow with log length, and how much does
+   checkpointing cap it?**  Crash after N commits with checkpoints disabled
+   (recovery replays all N) versus with a checkpoint interval (recovery loads
+   the snapshot and replays < interval batches).  The replay-count reduction
+   is deterministic, so the trajectory gates on it (``--baseline``); wall
+   times are reported alongside.
+
+Every run asserts recovery correctness (recovered store == never-crashed
+store) before timing is trusted, and emits ``BENCH-METRIC`` lines that
+``run_all.py`` folds into ``BENCH_<rev>.json``.
+"""
+
+import json
+import shutil
+import time
+
+from repro.db import Database, GRAPH_SCHEMA, MemoryEngine, Store, WalStorageEngine
+
+#: commits per engine in the throughput comparison
+COMMITS = 300
+
+#: log lengths for the recovery curve
+LOG_LENGTHS = (150, 600)
+
+#: checkpoint interval for the bounded-recovery comparison
+CHECKPOINT_INTERVAL = 64
+
+
+def emit_metric(name: str, payload: dict) -> None:
+    print(f"BENCH-METRIC {json.dumps({'metric': name, **payload}, sort_keys=True)}")
+
+
+def commit_stream(store: Store, commits: int) -> None:
+    """``commits`` effective single-edge transactions (all distinct edges)."""
+    for i in range(commits):
+        store.begin()
+        store.insert("E", (i, i + 1))
+        store.commit_unchecked()
+
+
+def timed_commit_stream(store: Store, commits: int) -> float:
+    started = time.perf_counter()
+    commit_stream(store, commits)
+    return time.perf_counter() - started
+
+
+def test_e20_commit_throughput_wal_on_vs_off(benchmark, tmp_path):
+    """The durability tax: memory vs WAL(no fsync) vs WAL(fsync per commit)."""
+
+    def run():
+        results = {}
+        memory = Store(GRAPH_SCHEMA, engine=MemoryEngine())
+        results["memory"] = timed_commit_stream(memory, COMMITS)
+
+        wal_lazy = Store(
+            GRAPH_SCHEMA,
+            engine=WalStorageEngine(str(tmp_path / "lazy"), fsync="never"),
+        )
+        results["wal_never"] = timed_commit_stream(wal_lazy, COMMITS)
+
+        wal_sync = Store(
+            GRAPH_SCHEMA,
+            engine=WalStorageEngine(str(tmp_path / "sync"), fsync="commit"),
+        )
+        results["wal_commit"] = timed_commit_stream(wal_sync, COMMITS)
+
+        # all three engines must agree on the committed content
+        assert memory.snapshot() == wal_lazy.snapshot() == wal_sync.snapshot()
+        assert wal_sync.storage_stats()["wal_appends"] == COMMITS
+        assert wal_sync.storage_stats()["fsyncs"] >= COMMITS
+        for store in (memory, wal_lazy, wal_sync):
+            store.close()
+        shutil.rmtree(tmp_path / "lazy", ignore_errors=True)
+        shutil.rmtree(tmp_path / "sync", ignore_errors=True)
+        return results
+
+    results = benchmark(run)
+    throughput = {name: COMMITS / seconds for name, seconds in results.items()}
+    emit_metric(
+        "e20-commit-throughput",
+        {
+            "commits": COMMITS,
+            "memory_txn_s": round(throughput["memory"], 1),
+            "wal_never_txn_s": round(throughput["wal_never"], 1),
+            "wal_commit_txn_s": round(throughput["wal_commit"], 1),
+            # the headline overheads: >1 means the WAL path costs throughput
+            "framing_overhead": round(
+                throughput["memory"] / throughput["wal_never"], 2
+            ),
+            "fsync_overhead": round(
+                throughput["memory"] / throughput["wal_commit"], 2
+            ),
+        },
+    )
+    # sanity, not a perf gate: the framing-only path must stay within an
+    # order of magnitude of pure memory commits
+    assert throughput["wal_never"] > throughput["memory"] / 10
+
+
+def test_e20_recovery_time_vs_log_length(benchmark, tmp_path):
+    """Recovery replays the log: time and batch counts along the curve."""
+
+    def run():
+        curve = []
+        for commits in LOG_LENGTHS:
+            directory = str(tmp_path / f"log-{commits}")
+            writer = Store(
+                GRAPH_SCHEMA,
+                engine=WalStorageEngine(directory, checkpoint_interval=0),
+            )
+            commit_stream(writer, commits)
+            expected = writer.snapshot()
+            writer.engine.crash()
+
+            started = time.perf_counter()
+            recovered = Store(
+                GRAPH_SCHEMA,
+                engine=WalStorageEngine(directory, checkpoint_interval=0),
+            )
+            seconds = time.perf_counter() - started
+            assert recovered.snapshot() == expected
+            stats = recovered.storage_stats()
+            assert stats["recovered_batches"] == commits
+            curve.append((commits, seconds))
+            recovered.close()
+            shutil.rmtree(directory, ignore_errors=True)
+        return curve
+
+    curve = benchmark(run)
+    payload = {"log_lengths": list(LOG_LENGTHS)}
+    for commits, seconds in curve:
+        payload[f"recover_{commits}_ms"] = round(seconds * 1e3, 2)
+    emit_metric("e20-recovery-curve", payload)
+
+
+def test_e20_checkpoint_bounds_recovery(benchmark, tmp_path):
+    """Checkpoints turn O(history) recovery into O(interval) tail replay."""
+    commits = LOG_LENGTHS[-1]
+
+    def run():
+        outcomes = {}
+        for label, interval in (("nockpt", 0), ("ckpt", CHECKPOINT_INTERVAL)):
+            directory = str(tmp_path / label)
+            writer = Store(
+                GRAPH_SCHEMA,
+                engine=WalStorageEngine(directory, checkpoint_interval=interval),
+            )
+            commit_stream(writer, commits)
+            expected = writer.snapshot()
+            writer.engine.crash()
+
+            started = time.perf_counter()
+            recovered = Store(
+                GRAPH_SCHEMA,
+                engine=WalStorageEngine(directory, checkpoint_interval=interval),
+            )
+            seconds = time.perf_counter() - started
+            assert recovered.snapshot() == expected
+            outcomes[label] = (seconds, recovered.storage_stats())
+            recovered.close()
+            shutil.rmtree(directory, ignore_errors=True)
+        return outcomes
+
+    outcomes = benchmark(run)
+    no_ckpt_seconds, no_ckpt_stats = outcomes["nockpt"]
+    ckpt_seconds, ckpt_stats = outcomes["ckpt"]
+    assert no_ckpt_stats["recovered_batches"] == commits
+    assert ckpt_stats["recovered_batches"] < CHECKPOINT_INTERVAL
+    assert ckpt_stats["checkpoint_version"] > 0
+    emit_metric(
+        "e20-checkpoint-recovery",
+        {
+            "commits": commits,
+            "checkpoint_interval": CHECKPOINT_INTERVAL,
+            "full_replay_batches": no_ckpt_stats["recovered_batches"],
+            "tail_replay_batches": ckpt_stats["recovered_batches"],
+            # deterministic: the factor by which checkpoints shrink replay
+            # work — the --baseline gate for this experiment
+            "replay_reduction": round(
+                no_ckpt_stats["recovered_batches"]
+                / max(1, ckpt_stats["recovered_batches"]),
+                2,
+            ),
+            "full_replay_ms": round(no_ckpt_seconds * 1e3, 2),
+            "tail_replay_ms": round(ckpt_seconds * 1e3, 2),
+        },
+    )
+
+
+def test_e20_kill_midstream_loses_nothing_acked(benchmark, tmp_path):
+    """The correctness headline, timed: crash mid-stream, recover, continue."""
+
+    def run():
+        directory = str(tmp_path / "midstream")
+        shutil.rmtree(directory, ignore_errors=True)
+        first = Store(GRAPH_SCHEMA, engine=WalStorageEngine(directory))
+        commit_stream(first, COMMITS // 2)
+        acked = first.snapshot()
+        first.engine.crash()
+
+        second = Store(GRAPH_SCHEMA, engine=WalStorageEngine(directory))
+        assert second.snapshot() == acked       # nothing acked was lost
+        # the recovered store keeps committing where the dead one stopped
+        for i in range(COMMITS // 2, COMMITS):
+            second.begin()
+            second.insert("E", (i, i + 1))
+            second.commit_unchecked()
+        final = second.snapshot()
+        second.engine.crash()
+
+        third = Store(GRAPH_SCHEMA, engine=WalStorageEngine(directory))
+        assert third.snapshot() == final
+        assert third.version == COMMITS
+        third.close()
+        shutil.rmtree(directory, ignore_errors=True)
+        return final
+
+    final = benchmark(run)
+    assert final == Database.graph([(i, i + 1) for i in range(COMMITS)])
+    emit_metric(
+        "e20-kill-recover",
+        {"commits": COMMITS, "recovered_ok": True},
+    )

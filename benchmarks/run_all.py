@@ -49,7 +49,7 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18", "e19")
+QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18", "e19", "e20")
 # per-experiment extra backends beyond the requested ones: the update-stream
 # experiment A/Bs the compiled engine with delta evaluation off, so the
 # trajectory records the incremental win (``delta_speedup``) explicitly
@@ -64,6 +64,9 @@ ONLY_BACKENDS = {
     "e17": ("compiled",),
     "e18": ("compiled",),
     "e19": ("compiled",),
+    # the durability experiment measures the storage engine (WAL appends,
+    # fsyncs, recovery replay); the query backend never runs
+    "e20": ("compiled",),
 }
 
 #: per-experiment ratio fields gated by ``--baseline`` (a drop below
@@ -82,6 +85,9 @@ BASELINE_METRICS = {
         ("e19-cold-scaling", "procs4_vs_compiled"),
         ("e19-join-heavy", "procs4_vs_threads4"),
     ),
+    # deterministic (replay counts, not wall time): checkpoints must keep
+    # shrinking recovery work by the same factor
+    "e20": (("e20-checkpoint-recovery", "replay_reduction"),),
 }
 
 

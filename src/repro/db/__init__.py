@@ -50,7 +50,17 @@ from .sharding import (
     shards_from_env,
     split_delta,
 )
+from .engines import (
+    DURABLE_ENV,
+    WAL_DIR_ENV,
+    MemoryEngine,
+    RecoveredState,
+    StorageEngine,
+    StorageEngineError,
+    engine_from_env,
+)
 from .storage import Store, StorageError, TransactionAborted, TransactionStats, WriteOp
+from .wal import WAL_CHECKPOINT_ENV, WAL_FSYNC_ENV, WalStorageEngine
 
 __all__ = [
     "GRAPH_SCHEMA",
@@ -96,6 +106,16 @@ __all__ = [
     "shard_of",
     "shards_from_env",
     "split_delta",
+    "DURABLE_ENV",
+    "WAL_DIR_ENV",
+    "WAL_CHECKPOINT_ENV",
+    "WAL_FSYNC_ENV",
+    "MemoryEngine",
+    "RecoveredState",
+    "StorageEngine",
+    "StorageEngineError",
+    "WalStorageEngine",
+    "engine_from_env",
     "Store",
     "StorageError",
     "TransactionAborted",

@@ -25,9 +25,17 @@ schema.
 
 from __future__ import annotations
 
+import pickle
+import struct
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Delta", "DeltaError", "patch_buckets"]
+__all__ = [
+    "Delta",
+    "DeltaError",
+    "patch_buckets",
+    "encode_wire_value",
+    "decode_wire_value",
+]
 
 Row = Tuple[object, ...]
 Rows = FrozenSet[Row]
@@ -63,6 +71,119 @@ def patch_buckets(buckets, key_of, inserted, deleted) -> Dict[Row, Rows]:
 
 class DeltaError(ValueError):
     """Raised for contradictory or schema-incompatible deltas."""
+
+
+# ---------------------------------------------------------------------------
+# canonical bytes framing for wire values
+# ---------------------------------------------------------------------------
+#
+# The durable log records `Delta.to_wire()` forms as bytes.  The encoding is
+# *canonical*: one byte sequence per value, independent of dict ordering or
+# interpreter state, so equal deltas serialize to identical bytes (the wire
+# form already sorts relations and rows).  The native tags cover every value
+# the workloads produce (ints, strings, floats, bytes, bools, None, nested
+# tuples); anything else falls back to a pickle-tagged payload, which round
+# trips but is only as canonical as pickle itself.
+
+_LEN = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+def _encode_into(out: bytearray, value: object) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif type(value) is int:
+        raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+        out += b"i"
+        out += _LEN.pack(len(raw))
+        out += raw
+    elif type(value) is float:
+        out += b"f"
+        out += _F64.pack(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out += b"s"
+        out += _LEN.pack(len(raw))
+        out += raw
+    elif type(value) is bytes:
+        out += b"b"
+        out += _LEN.pack(len(value))
+        out += value
+    elif type(value) is tuple:
+        out += b"t"
+        out += _LEN.pack(len(value))
+        for item in value:
+            _encode_into(out, item)
+    else:
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        out += b"P"
+        out += _LEN.pack(len(raw))
+        out += raw
+
+
+def encode_wire_value(value: object) -> bytes:
+    """Canonical bytes for a (possibly nested) plain-tuple wire value."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _decode_at(data: bytes, pos: int) -> Tuple[object, int]:
+    if pos >= len(data):
+        raise DeltaError("truncated wire bytes: value expected")
+    tag = data[pos:pos + 1]
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag == b"f":
+        if pos + 8 > len(data):
+            raise DeltaError("truncated wire bytes: float payload")
+        return _F64.unpack_from(data, pos)[0], pos + 8
+    if tag in (b"i", b"s", b"b", b"P", b"t"):
+        if pos + 4 > len(data):
+            raise DeltaError("truncated wire bytes: length header")
+        (length,) = _LEN.unpack_from(data, pos)
+        pos += 4
+        if tag == b"t":
+            items = []
+            for _ in range(length):
+                item, pos = _decode_at(data, pos)
+                items.append(item)
+            return tuple(items), pos
+        if pos + length > len(data):
+            raise DeltaError("truncated wire bytes: payload")
+        raw = data[pos:pos + length]
+        pos += length
+        if tag == b"i":
+            return int.from_bytes(raw, "big", signed=True), pos
+        if tag == b"s":
+            try:
+                return raw.decode("utf-8"), pos
+            except UnicodeDecodeError as exc:
+                raise DeltaError(f"corrupt wire bytes: {exc}") from None
+        if tag == b"b":
+            return raw, pos
+        try:
+            return pickle.loads(raw), pos
+        except Exception as exc:  # noqa: BLE001 - any unpickling failure is corruption
+            raise DeltaError(f"corrupt pickled wire payload: {exc!r}") from None
+    raise DeltaError(f"unknown wire tag {tag!r} at offset {pos - 1}")
+
+
+def decode_wire_value(data: bytes) -> object:
+    """Inverse of :func:`encode_wire_value`; rejects trailing bytes."""
+    value, pos = _decode_at(bytes(data), 0)
+    if pos != len(data):
+        raise DeltaError(f"{len(data) - pos} trailing bytes after wire value")
+    return value
 
 
 def _freeze(
@@ -210,6 +331,34 @@ class Delta:
             inserted={name: rows for name, rows in wire[1]},
             deleted={name: rows for name, rows in wire[2]},
         )
+
+    def to_bytes(self) -> bytes:
+        """Canonical bytes of :meth:`to_wire` — the durable-log record payload.
+
+        Equal deltas produce identical bytes (the wire form sorts relations
+        and rows, the encoding is canonical), which is what lets the WAL
+        layer CRC-guard records and compare them across processes.
+        """
+        return encode_wire_value(self.to_wire())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Delta":
+        """Rebuild a delta from :meth:`to_bytes` output (round-trip equal).
+
+        Raises :class:`DeltaError` on truncated, trailing or otherwise
+        malformed bytes — the framing layer's contract is *reject, never
+        misparse*: recovery stops at the last valid record instead of
+        replaying garbage.
+        """
+        wire = decode_wire_value(data)
+        if not isinstance(wire, tuple):
+            raise DeltaError(f"wire bytes decode to {type(wire).__name__}, not a tuple")
+        try:
+            return cls.from_wire(wire)
+        except DeltaError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise DeltaError(f"malformed delta wire structure: {exc!r}") from None
 
     def rows_in(self, relation: str) -> Rows:
         """Every row this delta touches (inserts or deletes) in ``relation``."""

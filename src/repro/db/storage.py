@@ -35,6 +35,19 @@ without conversion cost beyond freezing the sets.  All public methods take an
 internal re-entrant lock, so one store may be shared by a committing writer
 and any number of snapshot readers; the single-writer discipline (one open
 transaction at a time) is unchanged.
+
+**Layering.**  Persistence lives *below* the store, behind the pluggable
+:class:`~repro.db.engines.StorageEngine` interface: the write log, the RYOW
+overlay and the integrity checkers stay up here, while every committed batch
+is offered to the engine — as one :class:`~repro.db.delta.Delta` — before the
+in-memory state mutates.  The default :class:`~repro.db.engines.MemoryEngine`
+keeps the historical everything-in-RAM behavior; the durable
+:class:`~repro.db.wal.WalStorageEngine` (``Store(..., engine=...)`` or
+``REPRO_DURABLE=on``) appends each batch to a CRC-guarded write-ahead log,
+checkpoints periodically, and lets a new store recover the committed state
+after a crash (see :mod:`repro.db.wal` and ``docs/durability.md``).  Stores
+with durable engines hold file handles: close them (:meth:`Store.close`, or
+use the store as a context manager) when done.
 """
 
 from __future__ import annotations
@@ -46,6 +59,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 from .database import Database
 from .delta import Delta
+from .engines import MemoryEngine, StorageEngine, engine_from_env
 from .schema import Schema
 from .sharding import ShardedDatabase
 
@@ -162,6 +176,7 @@ class Store:
         initial: Optional[Database] = None,
         *,
         shards: Optional[int] = None,
+        engine: Optional[StorageEngine] = None,
     ):
         self._lock = threading.RLock()
         self._schema = schema
@@ -170,6 +185,14 @@ class Store:
         # shardedness, the whole MVCC version chain stays sharded — the
         # group-commit batch delta is split per shard on application
         self._shards = shards
+        # the persistence layer: every committed batch is offered to the
+        # engine before the in-memory state moves (see _commit_pending);
+        # `engine=None` defers to REPRO_DURABLE/REPRO_WAL_DIR, whose default
+        # is the in-memory engine — the historical behavior
+        self._engine = engine if engine is not None else engine_from_env()
+        self._closed = False
+        if initial is not None and initial.schema != schema:
+            raise StorageError("initial database has a different schema")
         # committed rows only — an open transaction's writes live in the log
         self._data: Dict[str, Set[Row]] = {name: set() for name in schema.relation_names}
         # the last materialised committed snapshot plus the committed writes
@@ -179,14 +202,32 @@ class Store:
         # chain the incremental query engine consumes
         self._snapshot: Optional[Database] = None
         self._since_snapshot: List[WriteOp] = []
-        if initial is not None:
-            if initial.schema != schema:
-                raise StorageError("initial database has a different schema")
+        recovered = self._engine.recover(schema)
+        if recovered is not None:
+            # a durable past beats `initial`: the engine's state is what the
+            # last process acked to its clients (schema row validation is the
+            # last line of defense against a tampered/foreign log directory)
             for name in schema.relation_names:
-                self._data[name] = set(initial.relation(name))
-            if shards is not None and not isinstance(initial, ShardedDatabase):
-                initial = ShardedDatabase.from_database(initial, shards)
-            self._snapshot = initial
+                rel_schema = schema[name]
+                self._data[name] = {
+                    rel_schema.validate_tuple(row)
+                    for row in recovered.relations.get(name, ())
+                }
+            self._version = recovered.version
+        else:
+            self._version = 0
+            if initial is not None:
+                for name in schema.relation_names:
+                    self._data[name] = set(initial.relation(name))
+                if shards is not None and not isinstance(initial, ShardedDatabase):
+                    initial = ShardedDatabase.from_database(initial, shards)
+                self._snapshot = initial
+                # persist the starting state: the log alone cannot
+                # reconstruct rows it never saw
+                self._engine.bootstrap(
+                    {name: frozenset(rows) for name, rows in self._data.items()},
+                    self._version,
+                )
         self._log: Optional[List[WriteOp]] = None
         # net overlay of the open log, per relation (kept in sync with _log
         # so reads and effectiveness checks are O(1) per row)
@@ -194,9 +235,47 @@ class Store:
         self._pending_del: Dict[str, Set[Row]] = {}
         # tentative (committed + pending) snapshot, cached by log length
         self._tentative: Optional[Tuple[int, Database]] = None
-        self._version = 0
         self._checkers: List[Tuple[str, Callable[[Database], bool]]] = []
         self.stats = TransactionStats()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> StorageEngine:
+        """The storage engine persisting this store's commits."""
+        return self._engine
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def storage_stats(self) -> Dict[str, object]:
+        """The engine's durability counters (wal_appends, fsyncs, checkpoints,
+        recovered_batches, ...), surfaced alongside :attr:`stats`."""
+        with self._lock:
+            return self._engine.stats()
+
+    def close(self) -> None:
+        """Release the storage engine (file handles, temp directories).
+
+        An open transaction is rolled back — its writes were never acked.
+        Idempotent; a closed store still serves reads (the committed state
+        stays in memory) but refuses new transactions.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if self._log is not None:
+                self.rollback()
+            self._closed = True
+            self._engine.close()
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- schema and snapshots ----------------------------------------------------
 
@@ -338,6 +417,8 @@ class Store:
 
     def begin(self) -> None:
         with self._lock:
+            if self._closed:
+                raise StorageError("the store is closed")
             if self._log is not None:
                 raise StorageError("a transaction is already open")
             self._log = []
@@ -496,7 +577,14 @@ class Store:
     # -- internal ------------------------------------------------------------------
 
     def _commit_pending(self) -> None:
-        """Fold the open write log into the committed state (locked)."""
+        """Fold the open write log into the committed state (locked).
+
+        With a durable engine this is the **group-commit WAL append unit**:
+        the whole batch goes to the engine as one framed delta record (one
+        append, at most one fsync) *before* the in-memory state moves.  An
+        engine refusal raises with the transaction still open and the
+        committed state untouched — the commit was never acked.
+        """
         log = self._log
         assert log is not None
         # the *net* overlay decides whether anything changed: a log whose
@@ -504,6 +592,10 @@ class Store:
         # advance the version — `version` promises one bump per commit that
         # changed the store, and the MVCC validation window keys on it
         changed = any(self._pending_add.values()) or any(self._pending_del.values())
+        if changed:
+            self._engine.commit_batch(
+                Delta(self._pending_add, self._pending_del), self._version + 1
+            )
         for name, rows in self._pending_add.items():
             self._data[name] |= rows
         for name, rows in self._pending_del.items():
@@ -522,6 +614,13 @@ class Store:
                 self._since_snapshot.extend(log)
             self._version += 1
         self._discard_pending()
+        if changed and self._engine.wants_checkpoint():
+            # snapshot checkpoints bound recovery time: the engine persists
+            # the full committed state and truncates its log
+            self._engine.checkpoint(
+                {name: frozenset(rows) for name, rows in self._data.items()},
+                self._version,
+            )
 
     def _discard_pending(self) -> None:
         self._log = None

@@ -18,6 +18,11 @@ multi-client transaction processor.  The lifecycle of one client transaction:
    :meth:`Delta.then <repro.db.delta.Delta.then>`, and applies the whole
    batch to the canonical store in **one** ``apply_delta`` — one write-log
    pass, one snapshot patch, one version bump, amortised over the batch.
+   With a durable store (``REPRO_DURABLE=on``) the batch is also the WAL
+   unit: one framed delta append and at most one fsync cover every commit in
+   the batch, and outcomes are reported to clients only after the storage
+   engine accepted the batch (an engine refusal aborts the whole batch, the
+   store's committed state untouched).
 4. **Retry** — a conflicted transaction re-runs against a fresh snapshot; a
    transaction still conflicted after ``max_retries`` optimistic attempts is
    executed by the leader *inside* the commit section (the serial fallback),
@@ -176,9 +181,11 @@ class TransactionService:
         backend: Optional[Backend] = None,
         history_limit: int = 1024,
         owns_backend: bool = False,
+        owns_store: bool = False,
     ):
         self.backend = backend if backend is not None else active_backend()
         self._owns_backend = owns_backend and backend is not None
+        self._owns_store = owns_store
         if isinstance(store, Database):
             # under a sharded backend the canonical store materialises
             # hash-partitioned snapshots: every pinned version is a
@@ -189,6 +196,9 @@ class TransactionService:
                 store,
                 shards=getattr(self.backend, "num_shards", None),
             )
+            # the service built this store, so the service must close it —
+            # with REPRO_DURABLE=on it holds WAL file handles
+            self._owns_store = True
         self.store = store
         self.constraints = list(constraints)
         self.signature = signature
@@ -214,13 +224,19 @@ class TransactionService:
         When the service was built with ``owns_backend=True`` (as
         :func:`~repro.service.workloads.build_service` does for dedicated
         sharded/process backends) this shuts down the backend's worker
-        pool; a shared/ambient backend is left untouched.  Idempotent.
+        pool; a shared/ambient backend is left untouched.  A store the
+        service created itself (one passed as a plain :class:`Database`, or
+        ``owns_store=True``) is closed too, releasing the storage engine's
+        file handles under ``REPRO_DURABLE=on``.  Idempotent.
         """
         if self._owns_backend:
             self._owns_backend = False
             closer = getattr(self.backend, "close", None)
             if closer is not None:
                 closer()
+        if self._owns_store:
+            self._owns_store = False
+            self.store.close()
 
     # -- registration and reads ----------------------------------------------------
 

@@ -306,6 +306,13 @@ class SnapshotManager:
     transaction older than the window cannot be validated precisely and is
     treated as conflicted (it retries against a fresh snapshot), which keeps
     memory O(window · delta) on an unbounded commit stream.
+
+    Durable stores stay coherent for free: a store recovered from a WAL
+    resumes at its recovered version ``N`` (not 0), the history window starts
+    empty, and ``foreign_delta`` for any pin at ``>= N`` is the empty delta —
+    exactly as if the service had just started on a fresh store whose version
+    happened to be ``N``.  Engine-level checkpoints happen inside the store's
+    commit lock, so a ``pin()`` can never observe a half-checkpointed state.
     """
 
     def __init__(self, store: Store, history_limit: int = 1024):

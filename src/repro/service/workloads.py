@@ -12,7 +12,18 @@ benchmarks (a single binary relation ``E``, the ``no-loops`` and
 * ``hot-key`` — the mixed blend with *Zipfian* account selection: a handful
   of hot accounts absorb most of the traffic, so concurrent writers collide
   on the same edges and the optimistic validation path actually retries
-  (non-zero ``abort_rate``), where the uniform scenarios almost never do.
+  (non-zero ``abort_rate``), where the uniform scenarios almost never do;
+* ``flash-crowd`` — bursty contention: every client's traffic concentrates
+  on one small *crowd* of accounts for a window of operations, then the
+  crowd jumps to a fresh set of accounts (a viral post, a market open).
+  Unlike ``hot-key``'s stationary skew, the hot set *moves*, so contention
+  arrives in spikes — the scenario that makes tail latency (p99) diverge
+  from the median even when mean throughput looks healthy.
+
+Drivers report tail latency per run: :class:`WorkloadReport` carries the
+p50/p95/p99 of per-operation completion times (one ``service.execute`` call
+from first attempt through retries to a definitive outcome), which is what
+the E16 benchmark JSON surfaces per scenario.
 
 Every operation is a deterministic closure over the tracked
 :class:`~repro.service.snapshots.SnapshotTransaction` API, tagged with the
@@ -80,7 +91,14 @@ NO_TRIANGLES = _parse()(
     "forall x . forall y . forall z . (E(x, y) & E(y, z)) -> ~E(z, x)"
 )
 
-SCENARIOS = ("read-heavy", "write-heavy", "constraint-heavy", "mixed", "hot-key")
+SCENARIOS = (
+    "read-heavy",
+    "write-heavy",
+    "constraint-heavy",
+    "mixed",
+    "hot-key",
+    "flash-crowd",
+)
 
 #: environment knob: the workload seed (set by ``benchmarks/run_all.py --seed``
 #: and by the test harness, so a failing run can be replayed exactly)
@@ -104,14 +122,18 @@ _MIXES: Dict[str, Tuple[float, float, float, float]] = {
     "constraint-heavy": (0.15, 0.30, 0.15, 0.40),
     "mixed": (0.50, 0.28, 0.12, 0.10),
     "hot-key": (0.20, 0.45, 0.25, 0.10),
+    "flash-crowd": (0.25, 0.45, 0.20, 0.10),
 }
-
-#: scenarios whose account picker is Zipfian instead of uniform
-_ZIPF_SCENARIOS = frozenset({"hot-key"})
 
 #: Zipf exponent for the hot-key picker — well above 1, so the first few
 #: accounts absorb most of the traffic and writers collide on their edges
 _ZIPF_S = 1.5
+
+#: flash-crowd burst shape: every pick lands inside a crowd of
+#: ``_CROWD_SIZE`` accounts for ``_BURST_LEN`` consecutive picks, then the
+#: crowd jumps to a fresh set — moving skew, not stationary skew
+_CROWD_SIZE = 4
+_BURST_LEN = 24
 
 
 def standard_constraints() -> List[Constraint]:
@@ -236,6 +258,7 @@ def build_service(
     commit_timeout: float = 60.0,
     shards: Optional[int] = None,
     procs: Optional[int] = None,
+    engine: Optional["StorageEngine"] = None,
 ) -> TransactionService:
     """A service over ``initial`` with the standard constraints and templates.
 
@@ -250,6 +273,11 @@ def build_service(
     ShardedBackend` owned by the service — call
     :meth:`~repro.service.scheduler.TransactionService.close` when done so
     its process pool shuts down promptly.
+
+    ``engine`` selects the store's :class:`~repro.db.engines.StorageEngine`
+    (default: the ``REPRO_DURABLE``/``REPRO_WAL_DIR`` environment choice).
+    The service owns the store it builds here, so ``close()`` releases the
+    engine's file handles.
     """
     from ..engine.backend import active_backend
 
@@ -263,7 +291,10 @@ def build_service(
         owns_backend = True
     ambient = backend if backend is not None else active_backend()
     store = Store(
-        GRAPH_SCHEMA, initial, shards=getattr(ambient, "num_shards", None)
+        GRAPH_SCHEMA,
+        initial,
+        shards=getattr(ambient, "num_shards", None),
+        engine=engine,
     )
     return TransactionService(
         store,
@@ -273,6 +304,9 @@ def build_service(
         commit_timeout=commit_timeout,
         backend=backend,
         owns_backend=owns_backend,
+        # the store was built here, so service.close() must release it (it
+        # may hold WAL handles under REPRO_DURABLE=on or an explicit engine)
+        owns_store=True,
     )
 
 
@@ -322,6 +356,39 @@ def _zipf_picker(rng: random.Random, accounts: int, s: float = _ZIPF_S) -> Picke
     if cdf is None:
         cdf = _ZIPF_CDF_CACHE[(accounts, s)] = _zipf_cdf(accounts, s)
     return lambda: bisect_left(cdf, rng.random())
+
+
+def _crowd_for(seed: int, burst: int, accounts: int) -> Tuple[int, ...]:
+    """The crowd of burst ``burst``: shared by every client of the run.
+
+    Derived from the *stream* seed (not the per-client rng), so clients at
+    the same point of their streams converge on the same few accounts —
+    that cross-client pile-up is what makes the burst contended.
+    """
+    crowd_rng = random.Random(0x9E3779B1 * (seed + 1) + burst)
+    size = min(_CROWD_SIZE, accounts)
+    return tuple(crowd_rng.sample(range(accounts), size))
+
+
+def _flash_crowd_picker(rng: random.Random, accounts: int, seed: int) -> Picker:
+    """Bursty picker: all picks land in a small crowd that periodically moves.
+
+    Stateful — every ``_BURST_LEN`` picks the crowd jumps to a fresh set of
+    accounts (deterministic in ``seed`` and the burst index), modelling a
+    flash crowd: a stampede on a handful of keys, then calm, then the next
+    stampede somewhere else.
+    """
+    state = {"picks": 0, "burst": 0, "crowd": _crowd_for(seed, 0, accounts)}
+
+    def pick() -> int:
+        if state["picks"] >= _BURST_LEN:
+            state["picks"] = 0
+            state["burst"] += 1
+            state["crowd"] = _crowd_for(seed, state["burst"], accounts)
+        state["picks"] += 1
+        return rng.choice(state["crowd"])
+
+    return pick
 
 
 def _make_read(rng: random.Random, pick: Picker) -> WorkItem:
@@ -406,10 +473,19 @@ _MAKERS = {
     "add-edge": _make_add_edge,
 }
 
-#: scenario-specific maker overrides (hot-key links validate-then-write,
-#: which is what turns key skew into observable optimistic conflicts)
+#: scenario-specific maker overrides (the contended scenarios link via
+#: validate-then-write, which is what turns key skew into observable
+#: optimistic conflicts)
 _SCENARIO_MAKERS = {
     "hot-key": {**_MAKERS, "link-forward": _make_check_link},
+    "flash-crowd": {**_MAKERS, "link-forward": _make_check_link},
+}
+
+#: scenario-specific account-picker factories, ``(rng, accounts, seed) ->
+#: Picker``; scenarios not listed here pick uniformly
+_SCENARIO_PICKERS: Dict[str, Callable[[random.Random, int, int], Picker]] = {
+    "hot-key": lambda rng, accounts, seed: _zipf_picker(rng, accounts),
+    "flash-crowd": _flash_crowd_picker,
 }
 
 
@@ -432,12 +508,14 @@ def build_streams(
     read_w, link_w, unlink_w, add_w = _MIXES[scenario]
     kinds = ("read", "link-forward", "unlink", "add-edge")
     weights = (read_w, link_w, unlink_w, add_w)
-    make_picker = _zipf_picker if scenario in _ZIPF_SCENARIOS else _uniform_picker
+    make_picker = _SCENARIO_PICKERS.get(
+        scenario, lambda rng, accounts, seed: _uniform_picker(rng, accounts)
+    )
     makers = _SCENARIO_MAKERS.get(scenario, _MAKERS)
     streams: List[List[WorkItem]] = []
     for client in range(clients):
         rng = random.Random(1_000_003 * (seed + 1) + client)
-        pick = make_picker(rng, accounts)
+        pick = make_picker(rng, accounts, seed)
         stream = [
             makers[rng.choices(kinds, weights)[0]](rng, pick)
             for _ in range(ops_per_client)
@@ -449,6 +527,14 @@ def build_streams(
 # ---------------------------------------------------------------------------
 # drivers
 # ---------------------------------------------------------------------------
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 if empty)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
 
 @dataclass
 class WorkloadReport:
@@ -468,7 +554,21 @@ class WorkloadReport:
     batched_commits: int = 0
     max_batch: int = 0
     seconds: float = 0.0
+    #: per-operation completion times in milliseconds (one ``execute`` call,
+    #: first attempt through retries to a definitive outcome): p50/p95/p99
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
     service_stats: Dict[str, int] = field(default_factory=dict)
+
+    def record_latencies(self, seconds_per_op: Sequence[float]) -> None:
+        """Fold per-op completion times (seconds) into the tail summary."""
+        ordered = sorted(seconds_per_op)
+        self.latency_p50_ms = _percentile(ordered, 0.50) * 1e3
+        self.latency_p95_ms = _percentile(ordered, 0.95) * 1e3
+        self.latency_p99_ms = _percentile(ordered, 0.99) * 1e3
+        self.latency_max_ms = ordered[-1] * 1e3 if ordered else 0.0
 
     @property
     def throughput(self) -> float:
@@ -492,7 +592,8 @@ class WorkloadReport:
             f"({self.throughput:.0f} txn/s), "
             f"{self.committed} committed, {self.rejected} rejected, "
             f"{self.aborted} aborted, abort-rate {self.abort_rate:.1%}, "
-            f"mean batch {self.mean_batch:.1f}"
+            f"mean batch {self.mean_batch:.1f}, "
+            f"p50 {self.latency_p50_ms:.2f}ms / p99 {self.latency_p99_ms:.2f}ms"
         )
 
 
@@ -514,14 +615,18 @@ def run_workload(
     for index, stream in enumerate(streams):
         assigned[index % workers].extend(stream)
     outcomes: List[List[TxnOutcome]] = [[] for _ in range(workers)]
+    latencies: List[List[float]] = [[] for _ in range(workers)]
     errors: List[BaseException] = []
 
     def worker(slot: int) -> None:
         try:
             for item in assigned[slot]:
-                outcomes[slot].append(
-                    service.execute(item.fn, template=item.template, params=item.params)
+                begun = time.perf_counter()
+                outcome = service.execute(
+                    item.fn, template=item.template, params=item.params
                 )
+                latencies[slot].append(time.perf_counter() - begun)
+                outcomes[slot].append(outcome)
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
             errors.append(exc)
 
@@ -558,6 +663,7 @@ def run_workload(
     report.batches = stats["batches"]
     report.batched_commits = stats["batched_commits"]
     report.max_batch = stats["max_batch"]
+    report.record_latencies([sample for slot in latencies for sample in slot])
     return report
 
 
@@ -574,10 +680,12 @@ def run_serial_baseline(
     discard individually.
     """
     report = WorkloadReport(scenario="?", mode="serial", workers=1)
+    latencies: List[float] = []
     started = time.perf_counter()
     for stream in streams:
         for item in stream:
             report.ops += 1
+            begun = time.perf_counter()
             version, snapshot = store.pin()
             handle = SnapshotTransaction(snapshot, version)
             item.fn(handle)
@@ -585,6 +693,7 @@ def run_serial_baseline(
             if delta.is_empty():
                 report.committed += 1
                 report.read_only += 1
+                latencies.append(time.perf_counter() - begun)
                 continue
             candidate = snapshot.apply_delta(delta)
             if all(c.holds(candidate) for c in constraints):
@@ -594,5 +703,7 @@ def run_serial_baseline(
                 report.committed += 1
             else:
                 report.aborted += 1
+            latencies.append(time.perf_counter() - begun)
     report.seconds = time.perf_counter() - started
+    report.record_latencies(latencies)
     return report

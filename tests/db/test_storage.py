@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.db import Database, GRAPH_SCHEMA, Schema, Store, StorageError, TransactionAborted
+from repro.db import (
+    Database,
+    GRAPH_SCHEMA,
+    MemoryEngine,
+    Schema,
+    Store,
+    StorageError,
+    TransactionAborted,
+)
 
 
 @pytest.fixture
@@ -201,3 +209,64 @@ class TestIntegrityCheckers:
         assert store.checker_names == ("a", "b")
         store.clear_checkers()
         assert store.checker_names == ()
+
+
+class TestLifecycle:
+    """close() and the context-manager protocol over the storage engine."""
+
+    def test_default_engine_follows_environment(self, store):
+        import os
+
+        durable = os.environ.get("REPRO_DURABLE", "").strip().lower()
+        expected = "wal" if durable in ("on", "1", "true", "yes") else "memory"
+        assert store.engine.name == expected
+        assert store.storage_stats()["engine"] == expected
+
+    def test_close_is_idempotent_and_blocks_new_transactions(self, store):
+        store.close()
+        assert store.closed
+        store.close()                      # second close is a no-op
+        with pytest.raises(StorageError):
+            store.begin()
+
+    def test_closed_store_still_serves_reads(self, store):
+        store.close()
+        assert store.contains("E", (1, 2))
+        assert set(store.scan("E")) == {(1, 2), (2, 3)}
+        assert store.snapshot() == Database.graph([(1, 2), (2, 3)])
+
+    def test_close_rolls_back_open_transaction(self, store):
+        store.begin()
+        store.insert("E", (9, 9))
+        store.close()
+        assert not store.in_transaction
+        assert not store.contains("E", (9, 9))
+        assert store.stats.aborted == 1
+
+    def test_context_manager_closes(self):
+        with Store(GRAPH_SCHEMA, Database.graph([(1, 2)])) as store:
+            assert not store.closed
+        assert store.closed
+
+    def test_context_manager_closes_on_error(self):
+        with pytest.raises(ValueError):
+            with Store(GRAPH_SCHEMA) as store:
+                raise ValueError("boom")
+        assert store.closed
+
+    def test_engine_sees_each_effective_commit_batch(self):
+        engine = MemoryEngine()
+        store = Store(GRAPH_SCHEMA, engine=engine)
+        store.begin(); store.insert("E", (1, 2)); store.commit()
+        store.begin(); store.commit()                      # empty: no batch
+        store.begin(); store.insert("E", (3, 4)); store.rollback()
+        store.begin(); store.insert("E", (5, 6)); store.commit_unchecked()
+        assert engine.stats()["batches"] == 2
+        store.close()
+
+    def test_memory_engine_stats_surface_is_uniform(self):
+        store = Store(GRAPH_SCHEMA, engine=MemoryEngine())
+        stats = store.storage_stats()
+        for key in ("wal_appends", "fsyncs", "checkpoints", "recovered_batches"):
+            assert stats[key] == 0
+        store.close()
