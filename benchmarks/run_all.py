@@ -74,6 +74,11 @@ ONLY_BACKENDS = {
 BASELINE_FIELDS = ("speedup", "delta_speedup")
 BASELINE_TOLERANCE = 0.95
 
+#: the metrics-registry micro-overhead gate: E15 (the per-update hot path)
+#: re-runs under ``REPRO_METRICS=off`` and the metrics-on run must retain at
+#: least this fraction of the metrics-off throughput
+METRICS_OVERHEAD_FLOOR = 0.97
+
 #: per-experiment *metric* ratios additionally gated by ``--baseline``:
 #: (metric name, field) pairs read from ``row["metrics"]``.  Process-mode
 #: ratios are hardware-shaped, so a pair is only compared when both runs
@@ -112,16 +117,23 @@ def git_revision() -> str:
         return "unknown"
 
 
-def run_one(path: str, backend: str, timeout: int, seed: int, jobs: int) -> dict:
+def run_one(
+    path: str, backend: str, timeout: int, seed: int, jobs: int,
+    extra_env: dict = None,
+) -> dict:
     """One pytest pass over one benchmark file under one backend."""
     env = dict(os.environ)
     env["REPRO_BACKEND"] = backend
     # an inherited REPRO_DELTA or REPRO_OPTIMIZER would silently corrupt
     # the A/Bs: the backend name alone must decide what the trajectory
     # measures (benchmarks that sweep the optimizer construct their own
-    # backends explicitly)
+    # backends explicitly); likewise an ambient REPRO_METRICS/REPRO_TRACE
+    # would skew timings, so observability is pinned per run (metrics on by
+    # default, tracing off — the overhead gate passes REPRO_METRICS=off)
     env.pop("REPRO_DELTA", None)
     env.pop("REPRO_OPTIMIZER", None)
+    env.pop("REPRO_METRICS", None)
+    env.pop("REPRO_TRACE", None)
     # reproducibility knobs: workload streams derive from the seed, the
     # service driver's thread count from the job count (E16 records both)
     env["REPRO_SEED"] = str(seed)
@@ -129,12 +141,18 @@ def run_one(path: str, backend: str, timeout: int, seed: int, jobs: int) -> dict
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    if extra_env:
+        env.update(extra_env)
     command = [
         sys.executable, "-m", "pytest", path, "-q", "-s",
         "-p", "no:cacheprovider", "--benchmark-disable",
+        # dumps the run's metrics-registry snapshot as a BENCH-OBS line at
+        # session finish, folded into the trajectory row below
+        "-p", "repro.obs.bench_plugin",
     ]
     started = time.perf_counter()
     metrics: dict = {}
+    obs: dict = {}
     try:
         proc = subprocess.run(
             command, cwd=ROOT, env=env, capture_output=True, text=True,
@@ -155,6 +173,12 @@ def run_one(path: str, backend: str, timeout: int, seed: int, jobs: int) -> dict
                     metrics[payload.pop("metric", "metric")] = payload
                 except (ValueError, TypeError):
                     pass
+            marker = line.find("BENCH-OBS ")
+            if marker >= 0:
+                try:
+                    obs = json.loads(line[marker + len("BENCH-OBS "):])
+                except (ValueError, TypeError):
+                    pass
     except subprocess.TimeoutExpired:
         ok, tail = False, f"timeout after {timeout}s"
     return {
@@ -162,6 +186,7 @@ def run_one(path: str, backend: str, timeout: int, seed: int, jobs: int) -> dict
         "ok": ok,
         "summary": tail,
         "metrics": metrics,
+        "obs": obs,
     }
 
 
@@ -257,6 +282,11 @@ def main(argv=None) -> int:
         help="skip the per-experiment extra backends (e.g. compiled-nodelta for e15)",
     )
     parser.add_argument(
+        "--no-overhead-gate", action="store_true",
+        help="skip the E15 REPRO_METRICS=off re-run and the "
+        f"{METRICS_OVERHEAD_FLOOR}x metrics-overhead gate",
+    )
+    parser.add_argument(
         "--timeout", type=int, default=900, help="per-run timeout in seconds"
     )
     parser.add_argument(
@@ -314,11 +344,46 @@ def main(argv=None) -> int:
             row["ok"] = row["ok"] and outcome["ok"]
             if outcome["metrics"]:
                 row.setdefault("metrics", {}).update(outcome["metrics"])
+            if outcome["obs"]:
+                row.setdefault("obs", {})[backend] = outcome["obs"]
             all_ok = all_ok and outcome["ok"]
             print(
                 f"{experiment:<5} {backend:<16} {outcome['seconds']:>8.2f}s  "
                 f"{'ok' if outcome['ok'] else 'FAIL: ' + outcome['summary']}"
             )
+        if (
+            experiment == "e15"
+            and "compiled" in row
+            and row["ok"]
+            and not args.no_overhead_gate
+        ):
+            off = run_one(
+                experiments[experiment], "compiled", args.timeout,
+                args.seed, args.jobs, extra_env={"REPRO_METRICS": "off"},
+            )
+            on_seconds = row["compiled"]
+            if off["ok"] and on_seconds > 0 and off["seconds"] > 0:
+                # throughput ratio on/off == inverse wall-time ratio
+                ratio = round(off["seconds"] / on_seconds, 3)
+                gate_ok = ratio >= METRICS_OVERHEAD_FLOOR
+                row["metrics_overhead"] = {
+                    "on_seconds": on_seconds,
+                    "off_seconds": off["seconds"],
+                    "throughput_ratio": ratio,
+                    "ok": gate_ok,
+                }
+                all_ok = all_ok and gate_ok
+                print(
+                    f"{experiment:<5} metrics-overhead {ratio:>6.3f}x  "
+                    f"{'ok' if gate_ok else 'FAIL: metrics-on throughput '}"
+                    f"{'' if gate_ok else f'below {METRICS_OVERHEAD_FLOOR}x metrics-off'}"
+                )
+            else:
+                all_ok = all_ok and off["ok"]
+                print(
+                    f"{experiment:<5} metrics-overhead        "
+                    f"{'skipped' if off['ok'] else 'FAIL: ' + off['summary']}"
+                )
         if "naive" in row and "compiled" in row and row["compiled"] > 0:
             row["speedup"] = round(row["naive"] / row["compiled"], 2)
             print(f"{experiment:<5} speedup  {row['speedup']:>7.2f}x")

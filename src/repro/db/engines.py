@@ -126,6 +126,9 @@ class MemoryEngine(StorageEngine):
 
     def __init__(self) -> None:
         self._batches = 0
+        from ..obs import metrics as _metrics
+
+        self._m_batches = _metrics.get_registry().counter("storage.batches")
 
     def recover(self, schema: Schema) -> Optional[RecoveredState]:
         return None
@@ -135,6 +138,7 @@ class MemoryEngine(StorageEngine):
 
     def commit_batch(self, delta: Delta, version: int) -> None:
         self._batches += 1
+        self._m_batches.inc()
 
     def wants_checkpoint(self) -> bool:
         return False

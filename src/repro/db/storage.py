@@ -57,6 +57,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .database import Database
 from .delta import Delta
 from .engines import MemoryEngine, StorageEngine, engine_from_env
@@ -110,7 +112,12 @@ class TransactionStats:
     rolled_back_writes: int = 0
     constraint_checks: int = 0
     precondition_checks: int = 0
-    wall_time: float = 0.0
+    # wall time split by outcome: an aborted transaction's time used to be
+    # folded into the same counter as committed time, which silently inflated
+    # per-commit latency figures — the legacy ``wall_time`` view below sums
+    # both for readers that want the old total
+    committed_wall_time: float = 0.0
+    aborted_wall_time: float = 0.0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -120,6 +127,15 @@ class TransactionStats:
         with self._lock:
             for name, amount in deltas.items():
                 setattr(self, name, getattr(self, name) + amount)
+        registry = _metrics.get_registry()
+        for name, amount in deltas.items():
+            registry.counter(f"store.{name}").inc(amount)
+
+    @property
+    def wall_time(self) -> float:
+        """Total transaction wall time, committed and aborted combined."""
+        with self._lock:
+            return self.committed_wall_time + self.aborted_wall_time
 
     def reset(self) -> None:
         with self._lock:
@@ -128,7 +144,8 @@ class TransactionStats:
             self.rolled_back_writes = 0
             self.constraint_checks = 0
             self.precondition_checks = 0
-            self.wall_time = 0.0
+            self.committed_wall_time = 0.0
+            self.aborted_wall_time = 0.0
 
 
 def _fold_ops(ops: Sequence[WriteOp]) -> Delta:
@@ -544,12 +561,14 @@ class Store:
                 self.stats.add(constraint_checks=1)
                 if not checker(state):
                     self.rollback()
-                    self.stats.add(wall_time=time.perf_counter() - started)
+                    self.stats.add(aborted_wall_time=time.perf_counter() - started)
                     raise TransactionAborted(
                         f"integrity constraint {name!r} violated"
                     )
             self._commit_pending()
-            self.stats.add(committed=1, wall_time=time.perf_counter() - started)
+            self.stats.add(
+                committed=1, committed_wall_time=time.perf_counter() - started
+            )
 
     def run(self, body: Callable[["Store"], None]) -> bool:
         """Run ``body`` inside a transaction; returns ``True`` on commit.
@@ -593,9 +612,11 @@ class Store:
         # changed the store, and the MVCC validation window keys on it
         changed = any(self._pending_add.values()) or any(self._pending_del.values())
         if changed:
-            self._engine.commit_batch(
-                Delta(self._pending_add, self._pending_del), self._version + 1
-            )
+            delta = Delta(self._pending_add, self._pending_del)
+            with _trace.span(
+                "store.commit_batch", version=self._version + 1, rows=len(delta)
+            ):
+                self._engine.commit_batch(delta, self._version + 1)
         for name, rows in self._pending_add.items():
             self._data[name] |= rows
         for name, rows in self._pending_del.items():

@@ -36,6 +36,7 @@ Crash points and their recovery:
 
 from __future__ import annotations
 
+import logging
 import os
 import shutil
 import struct
@@ -45,9 +46,13 @@ import weakref
 import zlib
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .delta import Delta, DeltaError, decode_wire_value, encode_wire_value
 from .engines import RecoveredState, StorageEngine, StorageEngineError
 from .schema import Schema
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "WAL_FSYNC_ENV",
@@ -207,6 +212,16 @@ class WalStorageEngine(StorageEngine):
             "checkpoint_version": -1,
             "tail_dropped_bytes": 0,
         }
+        # registry twins of the legacy counter dict (docs/observability.md);
+        # the dict keeps its historical keys, the registry gets dotted names
+        registry = _metrics.get_registry()
+        self._m_appends = registry.counter("wal.appends")
+        self._m_fsyncs = registry.counter("wal.fsyncs")
+        self._m_checkpoints = registry.counter("wal.checkpoints")
+        self._m_recovered = registry.counter("wal.recovered_batches")
+        self._m_tail_dropped = registry.counter("wal.tail_dropped_bytes")
+        # the engine-agnostic commit count, shared with the in-memory engine
+        self._m_batches = registry.counter("storage.batches")
         # the shared mutable state the GC finalizer closes/cleans — keep it
         # in sync with the live handle so an unclosed engine never leaks the
         # file descriptor or (for ephemeral engines) the directory
@@ -249,8 +264,10 @@ class WalStorageEngine(StorageEngine):
     def _maybe_fsync(self, handle, *, force: bool = False) -> None:
         if force or self.fsync_policy == "commit":
             if self.fsync_policy != "never":
-                os.fsync(handle.fileno())
+                with _trace.span("wal.fsync"):
+                    os.fsync(handle.fileno())
                 self._counters["fsyncs"] += 1
+                self._m_fsyncs.inc()
 
     def _append(self, kind: int, payload: bytes, *, force_sync: bool = False) -> None:
         handle = self._file()
@@ -302,6 +319,7 @@ class WalStorageEngine(StorageEngine):
                 if self.fsync_policy != "never":
                     os.fsync(handle.fileno())
                     self._counters["fsyncs"] += 1
+                    self._m_fsyncs.inc()
             os.replace(tmp, final)
             if self.fsync_policy != "never":
                 _sync_directory(self.directory)
@@ -324,6 +342,7 @@ class WalStorageEngine(StorageEngine):
                     pass
         self._counters["checkpoints"] += 1
         self._counters["checkpoint_version"] = version
+        _metrics.get_registry().gauge("wal.checkpoint_version").set(version)
         self._batches_since_checkpoint = 0
 
     def _load_latest_checkpoint(
@@ -417,6 +436,10 @@ class WalStorageEngine(StorageEngine):
             self._counters["recovered_batches"] = replayed
             self._counters["recovered_version"] = version
             self._counters["checkpoint_version"] = checkpoint_version
+            self._m_recovered.inc(replayed)
+            registry = _metrics.get_registry()
+            registry.gauge("wal.recovered_version").set(version)
+            registry.gauge("wal.checkpoint_version").set(checkpoint_version)
             return RecoveredState(
                 relations={name: frozenset(rows) for name, rows in mutable.items()},
                 version=version,
@@ -427,7 +450,17 @@ class WalStorageEngine(StorageEngine):
     def _truncate_to(self, valid_end: int, total: int) -> None:
         if valid_end >= total:
             return
-        self._counters["tail_dropped_bytes"] += total - valid_end
+        dropped = total - valid_end
+        # a torn tail is expected after a crash mid-append, but it is data
+        # the caller believed unacked being discarded — say so, with the
+        # offsets a post-mortem needs
+        logger.warning(
+            "WAL torn tail: dropping %d trailing byte(s) of %s "
+            "(valid prefix ends at offset %d of %d)",
+            dropped, self._wal_path, valid_end, total,
+        )
+        self._counters["tail_dropped_bytes"] += dropped
+        self._m_tail_dropped.inc(dropped)
         handle = self._file()
         try:
             handle.truncate(valid_end)
@@ -461,9 +494,12 @@ class WalStorageEngine(StorageEngine):
                     f"{self._last_version}"
                 )
             payload = encode_wire_value((version, delta.to_wire()))
-            self._append(_KIND_BATCH, payload)
+            with _trace.span("wal.append", version=version, bytes=len(payload)):
+                self._append(_KIND_BATCH, payload)
             self._last_version = version
             self._counters["wal_appends"] += 1
+            self._m_appends.inc()
+            self._m_batches.inc()
             self._batches_since_checkpoint += 1
 
     def wants_checkpoint(self) -> bool:
@@ -478,7 +514,9 @@ class WalStorageEngine(StorageEngine):
     ) -> None:
         with self._lock:
             self._file()  # raises when closed
-            self._write_checkpoint(relations, version)
+            with _trace.span("wal.checkpoint", version=version):
+                self._write_checkpoint(relations, version)
+            self._m_checkpoints.inc()
 
     def close(self) -> None:
         with self._lock:
@@ -492,6 +530,7 @@ class WalStorageEngine(StorageEngine):
                     if self.fsync_policy == "close":
                         os.fsync(handle.fileno())
                         self._counters["fsyncs"] += 1
+                        self._m_fsyncs.inc()
                 except (OSError, ValueError):
                     pass
             # the finalizer does the actual close/cleanup and is idempotent

@@ -43,6 +43,8 @@ from typing import (
 from ..db.database import Database, DatabaseError
 from ..logic.signature import EMPTY_SIGNATURE, Signature, SignatureError
 from ..logic.syntax import Formula
+from ..obs import metrics as _metrics
+from ..obs.profile import PlanProfiler, observe_estimation
 from .compile import CompileError, compile_extension
 from .delta import DeltaFallback, PlanState, incremental_update
 from .optimize import (
@@ -116,6 +118,22 @@ def _delta_mode_from_env() -> str:
         stacklevel=2,
     )
     return "on"
+
+
+#: CompiledBackend counter attribute -> canonical dotted metric name (the
+#: legacy ``cache_stats()`` keys stay unchanged; this is the registry side)
+_BACKEND_METRICS = {
+    "fallbacks": "engine.compile.fallbacks",
+    "delta_hits": "engine.delta.hits",
+    "delta_misses": "engine.delta.misses",
+    "plans_rewritten": "engine.optimizer.plans_rewritten",
+    "join_reorders": "engine.optimizer.join_reorders",
+    "shared_subplans": "engine.optimizer.shared_subplans",
+    "complements_avoided": "engine.optimizer.complements_avoided",
+    "naive_wins": "engine.optimizer.naive_wins",
+    "estimation_checks": "engine.optimizer.estimation_checks",
+    "estimation_error": "engine.optimizer.estimation_error",
+}
 
 
 def _optimizer_mode_from_env() -> str:
@@ -355,6 +373,16 @@ class CompiledBackend(Backend):
         self.naive_wins = 0
         self.estimation_checks = 0
         self.estimation_error = 0
+        # the registry twins of the bare-int counters above: _bump dual-writes
+        # into these, so the process-wide metrics snapshot carries the same
+        # numbers under the dotted scheme (docs/observability.md).  With
+        # REPRO_METRICS=off they are the shared no-op instrument.
+        registry = _metrics.get_registry()
+        self._metric_counters = {
+            attr: registry.counter(name) for attr, name in _BACKEND_METRICS.items()
+        }
+        self._m_memo_hits = registry.counter("engine.plan_cache.hits")
+        self._m_memo_misses = registry.counter("engine.plan_cache.misses")
 
     # -- cache plumbing --------------------------------------------------------
 
@@ -397,6 +425,9 @@ class CompiledBackend(Backend):
         """Thread-safe increment of a public statistics counter."""
         with self._counter_lock:
             setattr(self, counter, getattr(self, counter) + amount)
+        instrument = self._metric_counters.get(counter)
+        if instrument is not None:
+            instrument.inc(amount)
 
     def _memo_for(self, db: Database) -> _LRU:
         with self._memo_lock:
@@ -560,6 +591,7 @@ class CompiledBackend(Backend):
         memo_key = (formula, variables, domain_key, signature)
         cached = memo.get(memo_key)
         if cached is not None:
+            self._m_memo_hits.inc()
             if self.delta_mode != "off" and self._state_for(db, memo_key) is None:
                 # the result memo is *content*-keyed, so a database that
                 # round-tripped back to a known state hits it without ever
@@ -574,6 +606,7 @@ class CompiledBackend(Backend):
                     ctx = ExecutionContext(db, domain_key, signature)
                     self._incremental_extension(plan, db, memo_key, ctx, warming=True)
             return set(cached)
+        self._m_memo_misses.inc()
         try:
             plan = self._plan_for_execution(formula, variables, db, domain_key)
         except CompileError:
@@ -631,7 +664,7 @@ class CompiledBackend(Backend):
             return
         self._bump("estimation_checks")
         actual = float(len(rows))
-        ratio = max((estimate + 1.0) / (actual + 1.0), (actual + 1.0) / (estimate + 1.0))
+        ratio = observe_estimation(estimate, actual)
         if ratio > 4.0:
             self._bump("estimation_error")
 
@@ -676,12 +709,13 @@ class CompiledBackend(Backend):
             lines.append(explain_plan(original, estimator))
             return "\n".join(lines)
         ctx = ExecutionContext(db, domain_key, signature)
+        ctx.profiler = PlanProfiler()
         self._execute_plan(chosen, ctx)
         lines.append(
             f"chosen: {'optimized' if chosen is not original else 'syntactic'} plan "
             f"(cost~{estimator.cost(chosen):.0f}, syntactic~{estimator.cost(original):.0f})"
         )
-        lines.append(explain_plan(chosen, estimator, ctx.cache))
+        lines.append(explain_plan(chosen, estimator, ctx.cache, ctx.profiler))
         return "\n".join(lines)
 
     def _execute_plan(self, plan: Plan, ctx: ExecutionContext) -> frozenset:

@@ -45,6 +45,7 @@ oracle.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import os
 import pickle
@@ -55,9 +56,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..db.database import Database
 from ..db.delta import Delta
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .backend import _LRU
 from .codec import PlanCodecError, encode_plan
 from .plan import Plan
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ShardExecutor",
@@ -165,6 +170,14 @@ def _worker_main(conn, memo_size: int) -> None:  # pragma: no cover - subprocess
         join_key,
         join_rows,
     )
+
+    # worker spans cannot share the coordinator's ring: queue them for the
+    # reply pipe instead (and drop an inherited JSONL sink — the coordinator
+    # writes the adopted spans, so a worker-side sink would double-dump them)
+    if _trace.trace_enabled():
+        if _trace.get_tracer().path is not None:
+            _trace.configure("on")
+        _trace.enable_forwarding()
 
     state = ShardStateMachine()
     plans: Dict[int, Tuple[Plan, ...]] = {}
@@ -341,8 +354,17 @@ def _worker_main(conn, memo_size: int) -> None:  # pragma: no cover - subprocess
             break
         try:
             if kind == "task":
-                value, was_hit = evaluate(msg)
+                with _trace.span(
+                    "executor.task", shard=msg[2], op=msg[6][0]
+                ) as task_span:
+                    value, was_hit = evaluate(msg)
+                    task_span.annotate(cache_hit=was_hit)
                 reply = ("ok", value, was_hit)
+                spans = _trace.drain_forwarded()
+                if spans:
+                    # piggyback finished spans on the task reply; the
+                    # coordinator unwraps and adopts them into its own ring
+                    reply = ("spans", spans, reply)
             elif kind == "attach":
                 state.attach(msg[1], msg[2], msg[3])
                 reply = ("ok", None)
@@ -496,6 +518,11 @@ class ProcessShardExecutor(ShardExecutor):
         self.task_hits = 0
         self.fallbacks = 0
         self.restarts = 0
+        registry = _metrics.get_registry()
+        self._m_tasks = registry.counter("executor.tasks")
+        self._m_task_hits = registry.counter("executor.task_hits")
+        self._m_fallbacks = registry.counter("executor.fallbacks")
+        self._m_restarts = registry.counter("executor.restarts")
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -582,6 +609,7 @@ class ProcessShardExecutor(ShardExecutor):
         node_id = info.node_ids.get(node) if info is not None else None
         if workers is None or info is None or node_id is None:
             self.fallbacks += len(pending)
+            self._m_fallbacks.inc(len(pending))
             return {i: fn(i) for i in pending}
         # Inline fallbacks run ONLY after every in-flight reply has been
         # drained: `fn(i)` may raise (exactly like inline execution would —
@@ -628,11 +656,16 @@ class ProcessShardExecutor(ShardExecutor):
                 self._mark_dead(worker)
                 failed.append(i)
                 continue
+            if reply[0] == "spans":
+                _trace.adopt(reply[1], parent_id=_trace.current_span_id())
+                reply = reply[2]
             if reply[0] == "ok" and len(reply) == 3:
                 out[i] = reply[1]
                 self.tasks += 1
+                self._m_tasks.inc()
                 if reply[2]:
                     self.task_hits += 1
+                    self._m_task_hits.inc()
                 info.on_worker.setdefault(worker.slot, set()).add((node_id, i))
             else:
                 failed.append(i)
@@ -640,6 +673,7 @@ class ProcessShardExecutor(ShardExecutor):
         # surfaces the evaluation error without corrupting the protocol
         for i in failed:
             self.fallbacks += 1
+            self._m_fallbacks.inc()
             out[i] = fn(i)
         return out
 
@@ -652,14 +686,25 @@ class ProcessShardExecutor(ShardExecutor):
             return None
         try:
             replacement = self._spawn(slot, worker.respawns + 1)
-        except Exception:
+        except Exception as exc:
+            logger.warning(
+                "shard worker slot %d (shard %d) could not be respawned (%s); "
+                "its shards run in-process from now on",
+                slot, i, exc,
+            )
             worker.respawns = _MAX_RESPAWNS
             return None
+        logger.warning(
+            "shard worker slot %d died; respawned for shard %d "
+            "(respawn %d of %d), state re-attaches lazily",
+            slot, i, replacement.respawns, _MAX_RESPAWNS,
+        )
         # fresh process: shipped-id bookkeeping starts empty, so shard state,
         # plans and tables re-attach lazily from the coordinator's current
         # objects — recovery *is* the ordinary first-contact path
         self._workers[slot] = replacement
         self.restarts += 1
+        self._m_restarts.inc()
         return replacement
 
     def _mark_dead(self, worker: _Worker) -> None:

@@ -1215,12 +1215,16 @@ def explain_plan(
     plan: Plan,
     estimator: Estimator,
     actual: Optional[Dict[Plan, object]] = None,
+    profile=None,
 ) -> str:
     """An indented rendering of ``plan`` with estimated (and actual) rows.
 
     ``actual`` is an executed context's per-node result cache; when given,
     each line shows ``est=<estimate> act=<actual>`` so estimation error is
-    visible node by node — the optimizer's debugging loop.
+    visible node by node — the optimizer's debugging loop.  ``profile`` (a
+    :class:`repro.obs.profile.PlanProfiler` the execution context carried)
+    additionally shows each node's measured wall time, turning
+    estimated-vs-actual into measured-vs-actual.
     """
     lines: List[str] = []
 
@@ -1233,6 +1237,10 @@ def explain_plan(
             if rows is not None:
                 line += f" act={len(rows)}"
         line += f" cost={estimator.op_cost(node):.1f}"
+        if profile is not None:
+            seconds = profile.seconds(node)
+            if seconds is not None:
+                line += f" time={seconds * 1000.0:.3f}ms"
         lines.append(line)
         for child in node.children():
             walk(child, indent + 1)

@@ -67,6 +67,8 @@ from ..db.sharding import (
     shard_of,
     shards_from_env,
 )
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .backend import CompiledBackend, _MAX_PROVENANCE_CHAIN, _LRU
 from .executors import make_shard_executor
 from .optimize import OptimizerParams
@@ -306,7 +308,14 @@ class _ShardedRun:
             if executor is None:  # backend closed: degrade to inline
                 values = {i: fn(i) for i in pending}
             else:
-                values = executor.map_pending(self, node, fn, pending, keys, task)
+                with _trace.span(
+                    "engine.shard_map",
+                    node=type(node).__name__,
+                    shards=len(pending),
+                ):
+                    values = executor.map_pending(
+                        self, node, fn, pending, keys, task
+                    )
             for i in pending:
                 parts[i] = values[i]
             if key is not None:
@@ -850,6 +859,9 @@ class ShardedBackend(CompiledBackend):
         # lock: per_shard reports from pool callbacks on several threads)
         self._shard_hits_by_shard: Dict[int, int] = {}
         self._shard_misses_by_shard: Dict[int, int] = {}
+        registry = _metrics.get_registry()
+        self._m_shard_hits = registry.counter("engine.shard_cache.hits")
+        self._m_shard_misses = registry.counter("engine.shard_cache.misses")
         # (domain, shard count) -> per-shard domain split, shared by runs
         self._domain_splits = _LRU(64)
         # canonical live objects for recently-seen quantification domains
@@ -921,6 +933,10 @@ class ShardedBackend(CompiledBackend):
             by_miss = self._shard_misses_by_shard
             for i in miss_indices:
                 by_miss[i] = by_miss.get(i, 0) + 1
+        if hit_indices:
+            self._m_shard_hits.inc(len(hit_indices))
+        if miss_indices:
+            self._m_shard_misses.inc(len(miss_indices))
 
     def _shard_cache_get(self, shard: Database, key: Tuple):
         with self._shard_memo_lock:

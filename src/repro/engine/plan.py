@@ -84,7 +84,7 @@ class ExecutionContext:
     operator kind, which the tests and ``EXPLAIN``-style debugging use.
     """
 
-    __slots__ = ("db", "domain", "signature", "functions", "stats", "cache")
+    __slots__ = ("db", "domain", "signature", "functions", "stats", "cache", "profiler")
 
     def __init__(
         self,
@@ -104,6 +104,9 @@ class ExecutionContext:
         # Keyed by the node itself (identity hash) — holding the reference
         # prevents id-reuse if a caller evaluates several plans in one context.
         self.cache: Dict["Plan", Rows] = {}
+        # optional per-node wall-time/cardinality recorder (a
+        # repro.obs.profile.PlanProfiler); None keeps rows() on the fast path
+        self.profiler = None
 
     def count(self, operator: str, rows: int) -> None:
         self.stats[operator] = self.stats.get(operator, 0) + rows
@@ -133,7 +136,11 @@ class Plan:
         cache = ctx.cache
         if self in cache:
             return cache[self]
-        result = self._rows(ctx)
+        profiler = ctx.profiler
+        if profiler is None:
+            result = self._rows(ctx)
+        else:
+            result = profiler.measure(self, lambda: self._rows(ctx))
         cache[self] = result
         return result
 

@@ -1,0 +1,20 @@
+"""Pytest plugin: print the metrics-registry snapshot at session end.
+
+``benchmarks/run_all.py`` loads this plugin (``-p repro.obs.bench_plugin``)
+into every benchmark subprocess; the single ``BENCH-OBS {json}`` line it
+prints at session finish is folded into ``BENCH_<rev>.json`` next to the
+``BENCH-METRIC`` lines, so the perf trajectory records cache hit rates,
+delta traffic and fsync counts alongside the speedups.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import get_registry
+
+
+def pytest_sessionfinish(session, exitstatus):
+    snapshot = get_registry().snapshot()
+    if snapshot:
+        print(f"\nBENCH-OBS {json.dumps(snapshot, sort_keys=True, default=str)}")

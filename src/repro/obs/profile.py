@@ -1,0 +1,74 @@
+"""Plan-execution profiling: measured per-node wall time and cardinality.
+
+The planner's ``EXPLAIN`` output has always shown *estimated* rows next to
+*actual* rows (the executed context's per-node result cache).  This module
+adds the third column: measured wall time per plan node.  A
+:class:`PlanProfiler` attached to an :class:`~repro.engine.plan.ExecutionContext`
+(``ctx.profiler``) makes :meth:`Plan.rows` time each node's evaluation —
+`CompiledBackend.explain()` attaches one automatically, so estimated-vs-actual
+becomes measured-vs-actual without any caller changes.
+
+The module also owns the estimation-accuracy histogram: every explain-mode
+root-estimate check feeds its q-error (``max(est/act, act/est)``, both
++1-smoothed) into the ``engine.optimizer.estimation_ratio`` histogram next to
+the optimizer's existing pass/fail counter, so the *distribution* of
+estimation error is visible, not just the count of gross misses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from .metrics import get_registry
+
+__all__ = [
+    "PlanProfiler",
+    "ESTIMATION_RATIO_BUCKETS",
+    "observe_estimation",
+]
+
+#: q-error bucket bounds: 1.0 is a perfect estimate, >4 is what the backend
+#: has always counted as an ``estimation_error``
+ESTIMATION_RATIO_BUCKETS: Tuple[float, ...] = (
+    1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0,
+)
+
+
+class PlanProfiler:
+    """Per-node execution measurements for one (or more) plan executions.
+
+    ``records`` maps each executed plan node to ``(seconds, rows, calls)``;
+    the per-context result cache means a node normally executes once, but a
+    node shared across several plans executed in the same context accumulates.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: Dict[object, Tuple[float, int, int]] = {}
+
+    def measure(self, node, compute):
+        """Time ``compute()`` (the node's ``_rows``) and record the result."""
+        started = time.perf_counter()
+        rows = compute()
+        elapsed = time.perf_counter() - started
+        seconds, count, calls = self.records.get(node, (0.0, 0, 0))
+        self.records[node] = (seconds + elapsed, len(rows), calls + 1)
+        return rows
+
+    def seconds(self, node) -> Optional[float]:
+        record = self.records.get(node)
+        return record[0] if record is not None else None
+
+    def total_seconds(self) -> float:
+        return sum(seconds for seconds, _rows, _calls in self.records.values())
+
+
+def observe_estimation(estimate: float, actual: float) -> float:
+    """Record one root-estimate q-error into the registry; return the ratio."""
+    ratio = max((estimate + 1.0) / (actual + 1.0), (actual + 1.0) / (estimate + 1.0))
+    get_registry().histogram(
+        "engine.optimizer.estimation_ratio", ESTIMATION_RATIO_BUCKETS
+    ).observe(ratio)
+    return ratio

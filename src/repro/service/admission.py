@@ -38,6 +38,8 @@ from ..core.wpc import PreservationVerdict, classify_preservation, weakest_preco
 from ..db.database import Database
 from ..logic.signature import EMPTY_SIGNATURE, Signature
 from ..logic.syntax import TOP, Formula
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..transactions.base import Transaction
 from .snapshots import ServiceError
 
@@ -99,9 +101,15 @@ class AdmissionController:
         self._templates: Dict[str, TransactionTemplate] = {}
         self._verdicts: Dict[str, Dict[str, PreservationVerdict]] = {}
         self._guard_cache: Dict[Tuple[str, str, Tuple], Formula] = {}
-        # bookkeeping for reports/benchmarks
+        # bookkeeping for reports/benchmarks (mirrored into the metrics
+        # registry under service.admission.* — docs/observability.md)
         self.classified = 0
         self.guard_cache_hits = 0
+        registry = _metrics.get_registry()
+        self._m_classified = registry.counter("service.admission.classified")
+        self._m_guard_cache_hits = registry.counter(
+            "service.admission.guard_cache_hits"
+        )
 
     # -- registration (offline) --------------------------------------------------
 
@@ -118,12 +126,14 @@ class AdmissionController:
             if cached is not None:
                 return dict(cached)
         verdicts: Dict[str, PreservationVerdict] = {}
-        for constraint in self.constraints:
-            verdicts[constraint.name] = self._classify(template, constraint)
+        with _trace.span("service.admission.classify", template=template.name):
+            for constraint in self.constraints:
+                verdicts[constraint.name] = self._classify(template, constraint)
         with self._lock:
             self._templates[template.name] = template
             self._verdicts[template.name] = verdicts
             self.classified += len(verdicts)
+        self._m_classified.inc(len(verdicts))
         return dict(verdicts)
 
     def _classify(
@@ -198,6 +208,15 @@ class AdmissionController:
         with self._lock:
             return self._verdicts.get(template_name)
 
+    def stats(self) -> Dict[str, int]:
+        """Classification bookkeeping (part of the merged observability view)."""
+        with self._lock:
+            return {
+                "templates": len(self._templates),
+                "classified": self.classified,
+                "guard_cache_hits": self.guard_cache_hits,
+            }
+
     def guard_for(
         self, template_name: str, constraint: Constraint, params: Tuple
     ) -> Formula:
@@ -214,6 +233,7 @@ class AdmissionController:
         if guard is not None:
             with self._lock:
                 self.guard_cache_hits += 1
+            self._m_guard_cache_hits.inc()
             return guard
         if template is None:
             raise ServiceError(f"template {template_name!r} is not registered")

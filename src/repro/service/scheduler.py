@@ -41,6 +41,7 @@ the stress suite and CI rely on this to fail fast.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -54,9 +55,13 @@ from ..db.storage import Store
 from ..engine.backend import Backend, active_backend
 from ..logic.signature import EMPTY_SIGNATURE, Signature
 from ..logic.syntax import Formula
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..transactions.base import Transaction, TransactionAbortedSignal
 from .admission import AdmissionController, TransactionTemplate
 from .snapshots import ServiceError, SnapshotManager, SnapshotTransaction, validate
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "WORKERS_ENV",
@@ -84,6 +89,30 @@ def default_workers(fallback: int = 8) -> int:
     return max(1, value)
 
 
+#: dotted registry names mirroring each :class:`ServiceStats` field
+#: (``batches``/``batched_commits``/``max_batch`` live under ``service.commit``
+#: alongside the batch-size histogram; the admission-decided check counters
+#: live under ``service.admission`` next to the controller's own counters)
+_SERVICE_METRICS = {
+    "submitted": "service.submitted",
+    "committed": "service.committed",
+    "read_only_commits": "service.read_only_commits",
+    "conflicts": "service.conflicts",
+    "retries": "service.retries",
+    "serial_fallbacks": "service.serial_fallbacks",
+    "rejected": "service.rejected",
+    "aborted": "service.aborted",
+    "batches": "service.commit.batches",
+    "batched_commits": "service.commit.batched_commits",
+    "static_skips": "service.admission.static_skips",
+    "guard_checks": "service.admission.guard_checks",
+    "runtime_checks": "service.admission.runtime_checks",
+}
+
+#: group-commit amortisation is the interesting distribution — count buckets
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
 class ServiceStats:
     """Thread-safe counters describing the service's life so far."""
 
@@ -97,11 +126,23 @@ class ServiceStats:
         self._lock = threading.Lock()
         for name in self._FIELDS:
             setattr(self, name, 0)
+        registry = _metrics.get_registry()
+        self._instruments = {
+            field: registry.counter(name) for field, name in _SERVICE_METRICS.items()
+        }
+        self._m_max_batch = registry.gauge("service.commit.max_batch")
+        self._m_batch_size = registry.histogram(
+            "service.commit.batch_size", buckets=_BATCH_SIZE_BUCKETS
+        )
 
     def add(self, **deltas: int) -> None:
         with self._lock:
             for name, amount in deltas.items():
                 setattr(self, name, getattr(self, name) + amount)
+        for name, amount in deltas.items():
+            instrument = self._instruments.get(name)
+            if instrument is not None:
+                instrument.inc(amount)
 
     def saw_batch(self, size: int) -> None:
         with self._lock:
@@ -109,6 +150,10 @@ class ServiceStats:
             self.batched_commits += size
             if size > self.max_batch:
                 self.max_batch = size
+        self._instruments["batches"].inc()
+        self._instruments["batched_commits"].inc(size)
+        self._m_max_batch.set(self.max_batch)
+        self._m_batch_size.observe(size)
 
     def as_dict(self) -> Dict[str, int]:
         with self._lock:
@@ -293,23 +338,42 @@ class TransactionService:
                     template = transaction.name
             work = lambda handle: handle.apply(transaction)  # noqa: E731
         self.stats.add(submitted=1)
+        with _trace.span("service.txn", template=template) as txn_span:
+            outcome = self._execute_loop(work, template, params, tag)
+            txn_span.annotate(status=outcome.status, attempts=outcome.attempts)
+        return outcome
+
+    def _execute_loop(
+        self,
+        work: Callable[[SnapshotTransaction], object],
+        template: Optional[str],
+        params: Tuple,
+        tag: Optional[object],
+    ) -> TxnOutcome:
         attempts = 0
         while True:
             attempts += 1
             serial = attempts > self.max_retries
             if serial:
                 self.stats.add(serial_fallbacks=1)
+                logger.warning(
+                    "serial fallback: transaction (template=%s) still conflicted "
+                    "after %d optimistic attempt(s) (max_retries=%d); executing "
+                    "inside the group-commit critical section",
+                    template, attempts - 1, self.max_retries,
+                )
                 request = _CommitRequest(
                     None, Delta(), template, params, work, True, tag
                 )
             else:
-                handle = self.begin()
-                try:
-                    work(handle)
-                except TransactionAbortedSignal as exc:
-                    self.stats.add(rejected=1)
-                    return TxnOutcome("rejected", str(exc), attempts=attempts)
-                delta = handle.delta()
+                with _trace.span("service.txn_attempt", attempt=attempts):
+                    handle = self.begin()
+                    try:
+                        work(handle)
+                    except TransactionAbortedSignal as exc:
+                        self.stats.add(rejected=1)
+                        return TxnOutcome("rejected", str(exc), attempts=attempts)
+                    delta = handle.delta()
                 if delta.is_empty() and not handle.reads.opaque:
                     # a read-only transaction is serializable at its snapshot
                     # point; nothing to validate, nothing to apply
@@ -336,17 +400,21 @@ class TransactionService:
         with self._queue_lock:
             self._queue.append(request)
         deadline = time.monotonic() + self.commit_timeout
-        while not request.done.is_set():
-            if time.monotonic() > deadline:
-                self._give_up(request)
-                return
-            if self._commit_lock.acquire(blocking=False):
-                try:
-                    self._drain()
-                finally:
-                    self._commit_lock.release()
-                continue  # our request was either drained by us or re-queued
-            request.done.wait(timeout=0.002)
+        with _trace.span("service.leader_wait", serial=request.serial) as span:
+            became_leader = False
+            while not request.done.is_set():
+                if time.monotonic() > deadline:
+                    self._give_up(request)
+                    return
+                if self._commit_lock.acquire(blocking=False):
+                    became_leader = True
+                    try:
+                        self._drain()
+                    finally:
+                        self._commit_lock.release()
+                    continue  # our request was either drained by us or re-queued
+                request.done.wait(timeout=0.002)
+            span.annotate(leader=became_leader)
 
     def _give_up(self, request: _CommitRequest) -> None:
         """Abandon a timed-out request without leaving a ghost commit behind.
@@ -390,44 +458,59 @@ class TransactionService:
         if not batch:
             return
         try:
-            _version, current = self.store.pin()
-            running = current
-            batch_delta = Delta()
-            survivors: List[_CommitRequest] = []
-            for request in batch:
-                try:
-                    effective = self._process(request, running, batch_delta)
-                except Exception as exc:  # noqa: BLE001 - one bad txn must not sink the batch
-                    request.status = "aborted"
-                    request.reason = f"transaction failed: {exc!r}"
-                    continue
-                if effective is None:
-                    continue
-                survivors.append(request)
-                if not effective.is_empty():
-                    running = running.apply_delta(effective)
-                    batch_delta = batch_delta.then(effective)
-            if not batch_delta.is_empty():
-                self.store.begin()
-                try:
-                    self.store.apply_delta(batch_delta)
-                    self.store.commit_unchecked()
-                except BaseException:
-                    if self.store.in_transaction:
-                        self.store.rollback()
-                    raise
-                self.snapshots.record(self.store.version, batch_delta)
-                # the amortization metric: committed writers per store apply
-                # (conflicted/rejected/aborted requests are not part of the
-                # batch the store paid for, and drains that applied nothing
-                # are not batches)
-                self.stats.saw_batch(len(survivors))
-            new_version = self.store.version
-            for request in survivors:
-                request.status = "committed"
-                request.version = new_version
-                if request.tag is not None:
-                    self.commit_log.append(request.tag)
+            with _trace.span("service.group_commit", requests=len(batch)) as gc_span:
+                _version, current = self.store.pin()
+                running = current
+                batch_delta = Delta()
+                survivors: List[_CommitRequest] = []
+                for request in batch:
+                    with _trace.span(
+                        "service.txn_commit",
+                        template=request.template,
+                        serial=request.serial,
+                    ) as req_span:
+                        try:
+                            effective = self._process(request, running, batch_delta)
+                        except Exception as exc:  # noqa: BLE001 - one bad txn must not sink the batch
+                            request.status = "aborted"
+                            request.reason = f"transaction failed: {exc!r}"
+                            req_span.annotate(status="aborted")
+                            continue
+                        if effective is None:
+                            req_span.annotate(status=request.status)
+                            continue
+                        req_span.annotate(status="committed")
+                    survivors.append(request)
+                    if not effective.is_empty():
+                        running = running.apply_delta(effective)
+                        batch_delta = batch_delta.then(effective)
+                if not batch_delta.is_empty():
+                    with _trace.span(
+                        "service.apply_delta",
+                        rows=len(batch_delta),
+                        survivors=len(survivors),
+                    ):
+                        self.store.begin()
+                        try:
+                            self.store.apply_delta(batch_delta)
+                            self.store.commit_unchecked()
+                        except BaseException:
+                            if self.store.in_transaction:
+                                self.store.rollback()
+                            raise
+                    self.snapshots.record(self.store.version, batch_delta)
+                    # the amortization metric: committed writers per store apply
+                    # (conflicted/rejected/aborted requests are not part of the
+                    # batch the store paid for, and drains that applied nothing
+                    # are not batches)
+                    self.stats.saw_batch(len(survivors))
+                new_version = self.store.version
+                gc_span.annotate(committed=len(survivors), version=new_version)
+                for request in survivors:
+                    request.status = "committed"
+                    request.version = new_version
+                    if request.tag is not None:
+                        self.commit_log.append(request.tag)
         finally:
             for request in batch:
                 if request.status == "pending":
@@ -508,6 +591,44 @@ class TransactionService:
                     request.reason = f"constraint {constraint.name!r} violated"
                     return None
         return effective
+
+    # -- observability ---------------------------------------------------------------
+
+    def observability(self) -> Dict[str, object]:
+        """One merged snapshot of every stats surface the service touches.
+
+        Combines the service's own counters, the admission controller's
+        bookkeeping, the backend's cache statistics, the store's transaction
+        and durability counters, the metrics-registry snapshot (empty under
+        ``REPRO_METRICS=off``), and the tracer status — the single dict the
+        benchmark harness embeds into its result files.
+        """
+        store_stats = self.store.stats
+        with store_stats._lock:
+            txn_stats = {
+                "committed": store_stats.committed,
+                "aborted": store_stats.aborted,
+                "rolled_back_writes": store_stats.rolled_back_writes,
+                "constraint_checks": store_stats.constraint_checks,
+                "precondition_checks": store_stats.precondition_checks,
+                "committed_wall_time": store_stats.committed_wall_time,
+                "aborted_wall_time": store_stats.aborted_wall_time,
+            }
+        cache_stats = getattr(self.backend, "cache_stats", None)
+        return {
+            "service": self.stats.as_dict(),
+            "admission": self.admission.stats(),
+            "backend": cache_stats() if cache_stats is not None else {},
+            "store": {
+                "transactions": txn_stats,
+                "engine": self.store.storage_stats(),
+            },
+            "metrics": _metrics.get_registry().snapshot(),
+            "trace": {
+                "enabled": _trace.trace_enabled(),
+                "finished_spans": len(_trace.finished()),
+            },
+        }
 
     def __repr__(self) -> str:
         return (

@@ -44,6 +44,8 @@ from ..db.storage import Store
 from ..engine.backend import Backend, active_backend
 from ..logic.signature import EMPTY_SIGNATURE, Signature
 from ..logic.syntax import Formula
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..transactions.base import Transaction
 
 __all__ = [
@@ -268,6 +270,21 @@ def validate(
     """
     if foreign.is_empty():
         return None
+    _metrics.get_registry().counter("service.validate.checks").inc()
+    with _trace.span("service.validate", foreign_rows=len(foreign)) as span:
+        reason = _validate(reads, write_delta, foreign, base, signature, backend)
+        span.annotate(result="ok" if reason is None else "conflict")
+        return reason
+
+
+def _validate(
+    reads: ReadSet,
+    write_delta: Delta,
+    foreign: Delta,
+    base: Database,
+    signature: Signature,
+    backend: Optional[Backend],
+) -> Optional[str]:
     if reads.opaque:
         return "opaque read set: concurrent commits are indistinguishable from conflicts"
     common = write_delta.overlapping_rows(foreign)

@@ -57,6 +57,7 @@ from ..db.schema import GRAPH_SCHEMA
 from ..db.storage import Store
 from ..logic.syntax import And, Atom, Eq, Exists, Not, make_and
 from ..logic.terms import Const, Var
+from ..obs import metrics as _metrics
 from ..transactions.fo_transactions import DeleteWhere, FOProgram, InsertTuple
 from .admission import TransactionTemplate
 from .scheduler import TransactionService, TxnOutcome, default_workers
@@ -528,6 +529,11 @@ def build_streams(
 # drivers
 # ---------------------------------------------------------------------------
 
+#: per-op completion-time histogram bounds (milliseconds)
+_LATENCY_MS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                       100.0, 250.0, 500.0, 1000.0)
+
+
 def _percentile(ordered: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of an already-sorted sample (0 if empty)."""
     if not ordered:
@@ -617,6 +623,9 @@ def run_workload(
     outcomes: List[List[TxnOutcome]] = [[] for _ in range(workers)]
     latencies: List[List[float]] = [[] for _ in range(workers)]
     errors: List[BaseException] = []
+    latency_hist = _metrics.get_registry().histogram(
+        "service.workload.latency_ms", buckets=_LATENCY_MS_BUCKETS
+    )
 
     def worker(slot: int) -> None:
         try:
@@ -625,7 +634,9 @@ def run_workload(
                 outcome = service.execute(
                     item.fn, template=item.template, params=item.params
                 )
-                latencies[slot].append(time.perf_counter() - begun)
+                elapsed = time.perf_counter() - begun
+                latency_hist.observe(elapsed * 1e3)
+                latencies[slot].append(elapsed)
                 outcomes[slot].append(outcome)
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
             errors.append(exc)

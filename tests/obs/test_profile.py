@@ -1,0 +1,70 @@
+"""Plan-execution profiling: measured node times in explain, q-error feed."""
+
+import re
+
+import pytest
+
+from repro.db import Database
+from repro.engine.backend import CompiledBackend
+from repro.logic import parse
+from repro.obs import metrics
+from repro.obs.profile import PlanProfiler, observe_estimation
+
+
+class TestPlanProfiler:
+    def test_measure_accumulates_per_node(self):
+        profiler = PlanProfiler()
+        node = object()
+        assert profiler.measure(node, lambda: frozenset({(1,)})) == frozenset({(1,)})
+        profiler.measure(node, lambda: frozenset())
+        seconds = profiler.seconds(node)
+        assert seconds is not None and seconds >= 0.0
+        assert profiler.seconds(object()) is None
+        assert profiler.total_seconds() >= seconds
+
+    def test_explain_includes_measured_times(self):
+        backend = CompiledBackend()
+        db = Database.graph([(1, 2), (2, 3), (3, 1)])
+        text = backend.explain(
+            parse("forall x . forall y . (E(x, y) -> E(y, x))"), db
+        )
+        timed_lines = [l for l in text.splitlines() if "time=" in l]
+        assert timed_lines, text
+        for line in timed_lines:
+            match = re.search(r"time=(\d+\.\d+)ms", line)
+            assert match is not None, line
+            assert float(match.group(1)) >= 0.0
+
+    def test_rows_without_profiler_slot_still_work(self):
+        backend = CompiledBackend()
+        db = Database.graph([(1, 2)])
+        assert backend.evaluate(parse("forall x . ~E(x, x)"), db)
+
+
+class TestEstimationFeedback:
+    def test_observe_estimation_is_a_smoothed_q_error(self):
+        try:
+            registry = metrics.configure("on")
+            assert observe_estimation(10.0, 10.0) == pytest.approx(1.0)
+            over = observe_estimation(100.0, 10.0)
+            under = observe_estimation(10.0, 100.0)
+            assert over > 1.0 and under > 1.0
+            hist = registry.snapshot()["engine.optimizer.estimation_ratio"]
+            assert hist["count"] == 3
+        finally:
+            metrics.configure("on")
+
+    def test_backend_estimation_checks_feed_the_histogram(self):
+        try:
+            registry = metrics.configure("on")
+            backend = CompiledBackend()
+            db = Database.graph([(i, i + 1) for i in range(20)])
+            backend.evaluate(
+                parse("forall x . forall y . (E(x, y) -> ~E(y, x))"), db
+            )
+            snap = registry.snapshot()
+            if backend.estimation_checks:
+                hist = snap["engine.optimizer.estimation_ratio"]
+                assert hist["count"] == backend.estimation_checks
+        finally:
+            metrics.configure("on")
