@@ -49,7 +49,7 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18", "e19", "e20")
+QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18", "e19", "e20", "e21")
 # per-experiment extra backends beyond the requested ones: the update-stream
 # experiment A/Bs the compiled engine with delta evaluation off, so the
 # trajectory records the incremental win (``delta_speedup``) explicitly
@@ -67,6 +67,9 @@ ONLY_BACKENDS = {
     # the durability experiment measures the storage engine (WAL appends,
     # fsyncs, recovery replay); the query backend never runs
     "e20": ("compiled",),
+    # the serving experiment drives the network front-end over the standard
+    # service; like e16 it only makes sense on the compiled fast paths
+    "e21": ("compiled",),
 }
 
 #: per-experiment ratio fields gated by ``--baseline`` (a drop below
@@ -93,6 +96,9 @@ BASELINE_METRICS = {
     # deterministic (replay counts, not wall time): checkpoints must keep
     # shrinking recovery work by the same factor
     "e20": (("e20-checkpoint-recovery", "replay_reduction"),),
+    # serving must keep amortising durable writes across the socket: acked
+    # commits per WAL append under the 1024-client open-loop storm
+    "e21": (("e21-open-loop", "batch_amortization"),),
 }
 
 

@@ -125,7 +125,13 @@ def shard_of(value: object, num_shards: int) -> int:
     """The home shard of a partition-key ``value`` (see :func:`_stable_key`)."""
     if num_shards <= 1:
         return 0
-    if type(value) is int:  # the hot path for entity ids; hash(int) is cheap
+    # isinstance, not type-is: ``bool`` is an ``int`` subtype with
+    # ``True == 1`` and ``hash(True) == hash(1)``, so it must take the same
+    # path as the int it equals — rows are compared by equality, and equal
+    # keys routed to different shards would break the disjoint-routing
+    # invariant of split_delta.  (IntEnum and friends ride along for the
+    # same reason.)  hash(int) is unsalted, so the route stays process-stable.
+    if isinstance(value, int):  # the hot path for entity ids; hash(int) is cheap
         return hash(value) % num_shards
     return _stable_key(value) % num_shards
 

@@ -42,6 +42,7 @@ import shutil
 import struct
 import tempfile
 import threading
+import warnings
 import weakref
 import zlib
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
@@ -194,6 +195,12 @@ class WalStorageEngine(StorageEngine):
             try:
                 checkpoint_interval = int(raw) if raw else DEFAULT_CHECKPOINT_INTERVAL
             except ValueError:
+                warnings.warn(
+                    f"ignoring invalid {WAL_CHECKPOINT_ENV}={raw!r}; expected "
+                    f"an integer — using {DEFAULT_CHECKPOINT_INTERVAL}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 checkpoint_interval = DEFAULT_CHECKPOINT_INTERVAL
         self.directory = os.path.abspath(directory)
         self.fsync_policy = fsync

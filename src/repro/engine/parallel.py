@@ -57,6 +57,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import warnings
 import weakref
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -127,13 +128,19 @@ def _pool_threads_from_env(num_shards: int) -> int:
     sharding's wins there are algorithmic (co-partitioning, pruning, shard
     cache reuse), and the pool only starts paying once cores exist.
     """
+    default = min(num_shards, os.cpu_count() or 1)
     raw = os.environ.get(POOL_ENV, "").strip()
     if raw:
         try:
             return max(0, int(raw))
         except ValueError:
-            pass
-    return min(num_shards, os.cpu_count() or 1)
+            warnings.warn(
+                f"ignoring invalid {POOL_ENV}={raw!r}; expected an integer "
+                f"— using {default}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return default
 
 
 def _procs_from_env() -> int:
@@ -143,7 +150,12 @@ def _procs_from_env() -> int:
         try:
             return max(0, int(raw))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid {PROCS_ENV}={raw!r}; expected an integer "
+                "— staying on threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return 0
 
 

@@ -1,0 +1,87 @@
+"""Run a standalone transaction server: ``python -m repro.serve``.
+
+Serves the standard referral-graph workload (the ``no-loops`` and
+``no-triangles`` constraints, the link-forward/unlink/add-edge templates
+pre-registered as wire templates) over a fresh forward graph.  Durability
+follows the ambient environment: start with ``REPRO_DURABLE=on`` to put the
+WAL engine under the store, ``REPRO_TRACE=on`` for span timelines, and scrape
+``GET /metrics`` for the registry.
+
+Knobs (flags override the environment):
+
+* ``--host`` / ``REPRO_SERVE_HOST`` (default ``127.0.0.1``)
+* ``--port`` / ``REPRO_SERVE_PORT`` (default ``7453``; ``0`` = ephemeral)
+* ``--workers`` / ``REPRO_SERVE_WORKERS`` (default 8)
+* ``--accounts`` / ``--edges-per`` — initial graph shape
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import os
+import signal
+
+from ..service.workloads import build_service, forward_graph
+from .server import (
+    SERVE_HOST_ENV,
+    SERVE_PORT_ENV,
+    TransactionServer,
+    default_serve_workers,
+    preregister,
+)
+
+#: the default listening port (spells "SERV" on a phone pad, near enough)
+DEFAULT_PORT = 7453
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    initial = forward_graph(args.accounts, args.edges_per, seed=args.seed)
+    service = build_service(initial)
+    server = TransactionServer(
+        service,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        owns_service=True,
+    )
+    await server.start()
+    preregister(server)
+    host, port = server.address
+    print(f"repro.serve listening on {host}:{port} "
+          f"({args.workers or default_serve_workers()} workers, "
+          f"{args.accounts} accounts)", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("draining...", flush=True)
+    await server.stop()
+    print("bye", flush=True)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument(
+        "--host", default=os.environ.get(SERVE_HOST_ENV, "127.0.0.1")
+    )
+    parser.add_argument(
+        "--port", type=int,
+        default=int(os.environ.get(SERVE_PORT_ENV, "") or DEFAULT_PORT),
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--accounts", type=int, default=200)
+    parser.add_argument("--edges-per", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    main()

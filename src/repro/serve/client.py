@@ -1,0 +1,294 @@
+"""Clients for the serving front-end: a blocking socket client + an open-loop driver.
+
+:class:`ServeClient` is the test-and-tooling client: one blocking TCP
+connection, convenience wrappers per endpoint, and an explicit
+:meth:`~ServeClient.pipeline` that writes a whole batch of requests in one
+``sendall`` before reading any response — the client-side half of the
+batching contract (the server decodes the burst as one dispatch batch and
+feeds it to the group-commit leader together).
+
+:func:`drive_open_loop` is the benchmark driver: each simulated client gets a
+*schedule* of (send-offset, request) pairs and fires them at their scheduled
+times regardless of completions (open loop — the arrival process does not
+slow down when the server does), measuring per-request latency from the
+**scheduled** send time to response receipt, so server-side queueing shows up
+in the tail instead of silently throttling the load.  Built on asyncio, so a
+single benchmark process sustains thousands of concurrent connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .protocol import MAX_HEADER_BYTES, ProtocolError
+
+__all__ = [
+    "encode_request",
+    "parse_response",
+    "ServeClient",
+    "drive_open_loop",
+]
+
+
+def encode_request(method: str, path: str, body: Optional[object] = None) -> bytes:
+    """One wire request; ``body`` (if any) is JSON-encoded."""
+    data = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(data)}\r\n\r\n"
+    )
+    return head.encode("ascii") + data
+
+
+def parse_response(buffer: bytes) -> Optional[Tuple[Tuple[int, object], bytes]]:
+    """Decode one complete response; ``None`` if more bytes are needed.
+
+    Returns ``((status, payload), rest)`` — ``payload`` is the decoded JSON
+    body for ``application/json`` responses, the raw text otherwise.
+    """
+    head_end = buffer.find(b"\r\n\r\n")
+    if head_end < 0:
+        if len(buffer) > MAX_HEADER_BYTES:
+            raise ProtocolError("response header block exceeds 16KiB")
+        return None
+    lines = buffer[:head_end].decode("ascii", "replace").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed status line: {lines[0]!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body_start = head_end + 4
+    if len(buffer) < body_start + length:
+        return None
+    body = buffer[body_start : body_start + length]
+    rest = buffer[body_start + length :]
+    if headers.get("content-type", "").startswith("application/json"):
+        payload: object = json.loads(body) if body else None
+    else:
+        payload = body.decode("utf-8", "replace")
+    return (status, payload), rest
+
+
+class ServeClient:
+    """A blocking client over one keep-alive connection (tests and tooling)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+
+    # -- transport --------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> Tuple[int, object]:
+        """One request, one response."""
+        self._sock.sendall(encode_request(method, path, body))
+        return self._read_response()
+
+    def pipeline(
+        self, requests: Sequence[Tuple[str, str, Optional[object]]]
+    ) -> List[Tuple[int, object]]:
+        """Write every request back-to-back, then read every response.
+
+        The burst reaches the server as (usually) one socket read, so the
+        whole batch is dispatched into the same group-commit window — this
+        is how a client turns N commits into one WAL append.
+        """
+        blob = b"".join(
+            encode_request(method, path, body) for method, path, body in requests
+        )
+        self._sock.sendall(blob)
+        return [self._read_response() for _ in requests]
+
+    def _read_response(self) -> Tuple[int, object]:
+        while True:
+            parsed = parse_response(self._buffer)
+            if parsed is not None:
+                response, self._buffer = parsed
+                return response
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection mid-response")
+            self._buffer += data
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- endpoint wrappers -------------------------------------------------------
+
+    def health(self) -> object:
+        return self.request("GET", "/health")[1]
+
+    def stats(self) -> object:
+        return self.request("GET", "/stats")[1]
+
+    def metrics_text(self) -> str:
+        status, payload = self.request("GET", "/metrics")
+        if status != 200:
+            raise ConnectionError(f"/metrics returned {status}")
+        return payload  # text/plain passthrough
+
+    def register_template(self, spec: Dict[str, object]) -> Dict[str, object]:
+        status, payload = self.request("POST", "/templates", spec)
+        if status != 200:
+            raise ProtocolError(f"template registration failed ({status}): {payload}")
+        return payload
+
+    def submit(
+        self,
+        template: Optional[str] = None,
+        params: Sequence[object] = (),
+        ops: Optional[Sequence[object]] = None,
+        tag: Optional[object] = None,
+    ) -> Tuple[int, object]:
+        return self.request("POST", "/txn", _txn_body(template, params, ops, tag))
+
+    def submit_many(
+        self, submissions: Sequence[Dict[str, object]]
+    ) -> List[Tuple[int, object]]:
+        """Pipelined transaction burst: ``submissions`` are ``/txn`` bodies."""
+        return self.pipeline([("POST", "/txn", body) for body in submissions])
+
+    def contains(self, relation: str, row: Sequence[object]) -> object:
+        return self.request("POST", "/read", {"contains": [relation, list(row)]})[1]
+
+    def scan(self, relation: str) -> object:
+        return self.request("POST", "/read", {"scan": relation})[1]
+
+    def evaluate(self, formula: str, **assignment: object) -> object:
+        body = {"evaluate": {"formula": formula, "assignment": assignment}}
+        return self.request("POST", "/read", body)[1]
+
+
+def _txn_body(
+    template: Optional[str],
+    params: Sequence[object],
+    ops: Optional[Sequence[object]],
+    tag: Optional[object],
+) -> Dict[str, object]:
+    body: Dict[str, object] = {}
+    if template is not None:
+        body["template"] = template
+        body["params"] = list(params)
+    elif ops is not None:
+        body["ops"] = list(ops)
+    else:
+        raise ValueError("submit needs template or ops")
+    if tag is not None:
+        body["tag"] = tag
+    return body
+
+
+# ---------------------------------------------------------------------------
+# the open-loop driver (E21)
+# ---------------------------------------------------------------------------
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    schedule: Sequence[Tuple[float, bytes]],
+    t0: float,
+    results: List[Optional[Tuple[float, int, object]]],
+    base_index: int,
+) -> None:
+    """One simulated client: fire on schedule, account from scheduled time."""
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def send() -> None:
+        for offset, body in schedule:
+            delay = t0 + offset - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            writer.write(body)
+            await writer.drain()
+
+    async def receive() -> None:
+        buffer = b""
+        received = 0
+        while received < len(schedule):
+            parsed = parse_response(buffer)
+            if parsed is None:
+                data = await reader.read(65536)
+                if not data:
+                    return  # early close: remaining slots stay None (errors)
+                buffer += data
+                continue
+            (status, payload), buffer = parsed
+            done = time.perf_counter()
+            scheduled = t0 + schedule[received][0]
+            results[base_index + received] = (
+                max(0.0, done - scheduled), status, payload,
+            )
+            received += 1
+
+    sender = asyncio.ensure_future(send())
+    try:
+        await receive()
+    finally:
+        sender.cancel()
+        try:
+            await sender
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _drive_open_loop_async(
+    host: str,
+    port: int,
+    schedules: Sequence[Sequence[Tuple[float, bytes]]],
+    warmup: float,
+) -> List[Optional[Tuple[float, int, object]]]:
+    total = sum(len(schedule) for schedule in schedules)
+    results: List[Optional[Tuple[float, int, object]]] = [None] * total
+    t0 = time.perf_counter() + warmup  # connections settle before the clock starts
+    tasks = []
+    base = 0
+    for schedule in schedules:
+        tasks.append(
+            _drive_connection(host, port, schedule, t0, results, base)
+        )
+        base += len(schedule)
+    await asyncio.gather(*tasks)
+    return results
+
+
+def drive_open_loop(
+    host: str,
+    port: int,
+    schedules: Sequence[Sequence[Tuple[float, bytes]]],
+    warmup: float = 0.5,
+) -> List[Optional[Tuple[float, int, object]]]:
+    """Run one open-loop experiment; one connection per schedule.
+
+    ``schedules[c]`` is client ``c``'s arrival plan: ``(offset_seconds,
+    request_bytes)`` pairs, offsets relative to a common epoch set ``warmup``
+    seconds after the call (so all connections are up before the first
+    arrival).  Returns one ``(latency_seconds, status, payload)`` triple per
+    request in client-then-schedule order — ``None`` for requests whose
+    connection died before the response.
+    """
+    return asyncio.run(_drive_open_loop_async(host, port, schedules, warmup))

@@ -257,6 +257,12 @@ class TransactionService:
         self._queue_lock = threading.Lock()
         self._queue: List[_CommitRequest] = []
         self._commit_lock = threading.Lock()
+        #: followers block here instead of polling: a leader notifies after
+        #: releasing the commit lock, which is also (because outcomes are
+        #: published before the release) the moment every request it drained
+        #: has its ``done`` event set — so one notify wakes both "my commit
+        #: finished" and "the leader seat is free" waiters
+        self._commit_cond = threading.Condition()
         #: tags of committed *writer* transactions, in commit order — the
         #: serial history every committed run is equivalent to (appended under
         #: the commit lock; read-only commits never enter the pipeline and
@@ -396,24 +402,42 @@ class TransactionService:
     # -- the group-commit pipeline ---------------------------------------------------
 
     def _submit_and_wait(self, request: _CommitRequest) -> None:
-        """Enqueue ``request`` and drive/await the group-commit leader."""
+        """Enqueue ``request`` and drive/await the group-commit leader.
+
+        Followers never poll: a thread that loses the leader election blocks
+        on ``_commit_cond`` until the leader — after publishing every drained
+        outcome and releasing the commit lock — notifies.  The wake-up check
+        under the condition's own lock closes the race between a failed
+        try-acquire and the leader's notify, so a follower either sees its
+        ``done`` already set or is parked before the notify can be issued.
+        The ``commit_timeout`` deadline bounds every wait exactly as before
+        (``_give_up`` semantics unchanged).
+        """
         with self._queue_lock:
             self._queue.append(request)
         deadline = time.monotonic() + self.commit_timeout
         with _trace.span("service.leader_wait", serial=request.serial) as span:
             became_leader = False
             while not request.done.is_set():
-                if time.monotonic() > deadline:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     self._give_up(request)
                     return
-                if self._commit_lock.acquire(blocking=False):
+                with self._commit_cond:
+                    acquired = self._commit_lock.acquire(blocking=False)
+                    if not acquired and not request.done.is_set():
+                        # blocks until the leader's post-release notify (or
+                        # the deadline); re-checks done/leadership on wake
+                        self._commit_cond.wait(timeout=remaining)
+                if acquired:
                     became_leader = True
                     try:
                         self._drain()
                     finally:
-                        self._commit_lock.release()
-                    continue  # our request was either drained by us or re-queued
-                request.done.wait(timeout=0.002)
+                        with self._commit_cond:
+                            self._commit_lock.release()
+                            self._commit_cond.notify_all()
+                    # our request was either drained by us or re-queued
             span.annotate(leader=became_leader)
 
     def _give_up(self, request: _CommitRequest) -> None:

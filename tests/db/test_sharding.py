@@ -58,6 +58,33 @@ class TestRouting:
                 frozenset({2.0, 1.0}), n
             )
 
+    def test_bool_keys_take_the_int_path(self):
+        """Regression: ``bool`` is an ``int`` subtype (``True == 1``,
+        ``hash(True) == hash(1)``), so bool keys must route exactly as the
+        ints they equal — on the int fast path, not by falling through to
+        the generic digest — or equal keys could land on different shards
+        and break split_delta's disjoint-routing invariant."""
+        for n in (2, 3, 4, 7, 16):
+            assert shard_of(True, n) == shard_of(1, n)
+            assert shard_of(False, n) == shard_of(0, n)
+        delta = Delta(
+            inserted={"E": [(True, 5), (1, 7), (False, 2), (0, 9), (2, 1)]},
+            deleted={"E": [(True, 3)]},
+        )
+        parts = split_delta(delta, 4)
+        for index, sub in parts.items():
+            for name in sub.touched():
+                for row in sub.rows_in(name):
+                    assert shard_of(row[0], 4) == index
+                    assert shard_of(int(row[0]), 4) == index
+        # every row about entity 1 — bool-keyed or int-keyed — shares a shard
+        homes = {
+            index
+            for index, sub in parts.items()
+            if any(row[0] == 1 for row in sub.rows_in("E"))
+        }
+        assert len(homes) == 1
+
     def test_cross_type_equal_rows_delete_cleanly(self):
         db = ShardedDatabase.graph([(0.0, 2)], num_shards=4)
         db.shards  # materialise so the delta takes the incremental path

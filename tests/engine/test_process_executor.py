@@ -180,13 +180,31 @@ class TestLifecycle:
             assert backend._executor.kind == "procs"
         finally:
             backend.close()
+        # an invalid value warns (like REPRO_SHARDS) instead of silently
+        # staying on threads — the operator asked for processes and must
+        # hear that the knob was dropped
         monkeypatch.setenv(PROCS_ENV, "not-a-number")
-        fallback = ShardedBackend(shards=2)
+        with pytest.warns(RuntimeWarning, match="REPRO_SHARD_PROCS"):
+            fallback = ShardedBackend(shards=2)
         try:
             assert fallback.procs == 0
             assert fallback._executor.kind == "threads"
         finally:
             fallback.close()
+
+    def test_pool_threads_env_knob_warns_on_garbage(self, monkeypatch):
+        import os
+
+        from repro.engine.parallel import POOL_ENV, _pool_threads_from_env
+
+        default = min(8, os.cpu_count() or 1)
+        monkeypatch.setenv(POOL_ENV, "3")
+        assert _pool_threads_from_env(8) == 3
+        monkeypatch.setenv(POOL_ENV, "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_SHARD_THREADS"):
+            assert _pool_threads_from_env(8) == default
+        monkeypatch.delenv(POOL_ENV)
+        assert _pool_threads_from_env(8) == default
 
     def test_single_shard_never_spawns_processes(self):
         backend = ShardedBackend(shards=1, procs=4)

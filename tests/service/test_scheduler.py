@@ -180,7 +180,11 @@ class TestConcurrency:
             with service._queue_lock:
                 assert len(service._queue) == n
         finally:
-            service._commit_lock.release()
+            # followers block on the condition (no polling), so an external
+            # unwedge must notify exactly as the leader's release does
+            with service._commit_cond:
+                service._commit_lock.release()
+                service._commit_cond.notify_all()
         for thread in threads:
             thread.join()
         stats = service.stats.as_dict()
@@ -217,6 +221,82 @@ class TestConcurrency:
         assert all(o.committed for o in outcomes)
         rows = service.snapshot().relation("E")
         assert all((30 + i, 80 + i) in rows for i in range(4))
+
+
+class TestFollowerWait:
+    def test_followers_block_on_the_condition_not_a_poll(self):
+        """Regression for the follower spin-wait: while a leader is inside
+        the commit section, a follower must be parked in
+        ``_commit_cond.wait`` (zero CPU, woken by the leader's notify), not
+        re-polling ``done.wait(0.002)`` in a loop."""
+        import time
+
+        service = build_service(forward_graph(30, 2, seed=9), commit_timeout=30.0)
+        stall = threading.Event()
+        entered = threading.Event()
+        original = service._process
+
+        def slow_process(request, running, batch_delta):
+            entered.set()
+            assert stall.wait(timeout=10.0)
+            return original(request, running, batch_delta)
+
+        service._process = slow_process
+        outcomes = []
+
+        def client(edge):
+            outcomes.append(
+                service.execute(
+                    lambda txn, e=edge: txn.insert("E", e),
+                    template="link-forward", params=edge,
+                )
+            )
+
+        leader = threading.Thread(target=client, args=((101, 102),))
+        leader.start()
+        assert entered.wait(timeout=10.0)   # leader is wedged inside _drain
+        follower = threading.Thread(target=client, args=((103, 104),))
+        follower.start()
+        # the follower loses the election and must end up blocked on the
+        # condition; with the old 2ms poll no waiter ever parks there
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with service._commit_cond:
+                waiters = len(service._commit_cond._waiters)
+            if waiters >= 1:
+                break
+            time.sleep(0.005)
+        assert waiters >= 1, "follower never blocked on the commit condition"
+        stall.set()
+        leader.join(timeout=10.0)
+        follower.join(timeout=10.0)
+        assert not leader.is_alive() and not follower.is_alive()
+        assert [o.committed for o in outcomes] == [True, True]
+        assert service.invariant_holds()
+        service.close()
+
+    def test_external_timeout_semantics_survive_the_blocking_wait(self):
+        """The deadline still bounds a follower parked on the condition: a
+        wedged pipeline surfaces as ServiceError at ~commit_timeout, not a
+        hang (the _give_up path is unchanged)."""
+        import time
+
+        service = build_service(Database.graph([(1, 2)]), commit_timeout=0.3)
+        service._commit_lock.acquire()
+        started = time.monotonic()
+        try:
+            with pytest.raises(ServiceError, match="timed out"):
+                service.execute(
+                    lambda txn: txn.insert("E", (8, 9)),
+                    template="link-forward", params=(8, 9),
+                )
+        finally:
+            with service._commit_cond:
+                service._commit_lock.release()
+                service._commit_cond.notify_all()
+        elapsed = time.monotonic() - started
+        assert elapsed < 10.0   # woke at the deadline, not at lock release
+        service.close()
 
 
 def test_forward_graph_saturates_instead_of_hanging():
@@ -280,7 +360,9 @@ class TestFailFast:
                     template="link-forward", params=(8, 9),
                 )
         finally:
-            service._commit_lock.release()
+            with service._commit_cond:
+                service._commit_lock.release()
+                service._commit_cond.notify_all()
 
     def test_window_overflow_retries_then_succeeds(self):
         # a one-commit validation window forces "fell out of the window"
