@@ -49,7 +49,9 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 # the experiments dominated by formula evaluation (the engine's hot paths)
-QUICK = ("e09", "e12", "e13", "e15", "e16", "e17", "e18", "e19", "e20", "e21")
+QUICK = (
+    "e09", "e12", "e13", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+)
 # per-experiment extra backends beyond the requested ones: the update-stream
 # experiment A/Bs the compiled engine with delta evaluation off, so the
 # trajectory records the incremental win (``delta_speedup``) explicitly
@@ -70,12 +72,26 @@ ONLY_BACKENDS = {
     # the serving experiment drives the network front-end over the standard
     # service; like e16 it only makes sense on the compiled fast paths
     "e21": ("compiled",),
+    # availability under injected faults exercises the same serving stack
+    "e22": ("compiled",),
 }
 
 #: per-experiment ratio fields gated by ``--baseline`` (a drop below
 #: ``BASELINE_TOLERANCE`` x the committed value fails the run)
 BASELINE_FIELDS = ("speedup", "delta_speedup")
 BASELINE_TOLERANCE = 0.95
+
+#: tighter floors for experiments that carry the fault-injection no-op
+#: hooks on their hot paths (per-update delta application, per-request
+#: serving): with ``REPRO_FAULTS`` unset the hooks must cost nothing, so
+#: these ratios get a stricter gate than the general 0.95x.  Keys are
+#: ``(experiment, field)`` for BASELINE_FIELDS entries and
+#: ``(experiment, metric, field)`` for BASELINE_METRICS entries.
+STRICT_BASELINE_TOLERANCE = 0.97
+STRICT_BASELINE_KEYS = {
+    ("e15", "delta_speedup"),
+    ("e21", "e21-open-loop", "batch_amortization"),
+}
 
 #: the metrics-registry micro-overhead gate: E15 (the per-update hot path)
 #: re-runs under ``REPRO_METRICS=off`` and the metrics-on run must retain at
@@ -99,6 +115,10 @@ BASELINE_METRICS = {
     # serving must keep amortising durable writes across the socket: acked
     # commits per WAL append under the 1024-client open-loop storm
     "e21": (("e21-open-loop", "batch_amortization"),),
+    # e22's figures (availability, goodput, tails under a fault mix) are
+    # recorded in the trajectory but deliberately NOT gated here: retry
+    # backoff and injected latency make them wall-time-shaped, and the
+    # benchmark asserts its own deterministic invariants inline
 }
 
 
@@ -140,6 +160,9 @@ def run_one(
     env.pop("REPRO_OPTIMIZER", None)
     env.pop("REPRO_METRICS", None)
     env.pop("REPRO_TRACE", None)
+    # an ambient fault plan would inject failures into every timing run;
+    # E22 installs its chaos recipe programmatically instead
+    env.pop("REPRO_FAULTS", None)
     # reproducibility knobs: workload streams derive from the seed, the
     # service driver's thread count from the job count (E16 records both)
     env["REPRO_SEED"] = str(seed)
@@ -237,6 +260,12 @@ def check_baseline(results: dict, baseline_path: str) -> list:
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
+
+    def tolerance_for(*key) -> float:
+        if key in STRICT_BASELINE_KEYS:
+            return STRICT_BASELINE_TOLERANCE
+        return BASELINE_TOLERANCE
+
     regressions = []
     for experiment, row in baseline.get("results", {}).items():
         current = results.get(experiment)
@@ -247,9 +276,10 @@ def check_baseline(results: dict, baseline_path: str) -> list:
             new = current.get(field)
             if old is None or new is None or old <= 0:
                 continue
-            if new < old * BASELINE_TOLERANCE:
+            tolerance = tolerance_for(experiment, field)
+            if new < old * tolerance:
                 regressions.append(
-                    f"{experiment}.{field}: {new} < {BASELINE_TOLERANCE} * "
+                    f"{experiment}.{field}: {new} < {tolerance} * "
                     f"baseline {old}"
                 )
         for metric, field in BASELINE_METRICS.get(experiment, ()):
@@ -261,10 +291,11 @@ def check_baseline(results: dict, baseline_path: str) -> list:
             new = new_metric.get(field)
             if old is None or new is None or old <= 0:
                 continue
-            if new < old * BASELINE_TOLERANCE:
+            tolerance = tolerance_for(experiment, metric, field)
+            if new < old * tolerance:
                 regressions.append(
                     f"{experiment}.{metric}.{field}: {new} < "
-                    f"{BASELINE_TOLERANCE} * baseline {old}"
+                    f"{tolerance} * baseline {old}"
                 )
     return regressions
 

@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
+from .. import faults as _faults
 from .delta import Delta
 from .schema import Schema
 
@@ -137,6 +138,7 @@ class MemoryEngine(StorageEngine):
         pass
 
     def commit_batch(self, delta: Delta, version: int) -> None:
+        _faults.fire("storage.commit_batch")
         self._batches += 1
         self._m_batches.inc()
 

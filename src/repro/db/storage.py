@@ -52,6 +52,7 @@ use the store as a context manager) when done.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -61,9 +62,11 @@ from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from .database import Database
 from .delta import Delta
-from .engines import MemoryEngine, StorageEngine, engine_from_env
+from .engines import MemoryEngine, StorageEngine, StorageEngineError, engine_from_env
 from .schema import Schema
 from .sharding import ShardedDatabase
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "StorageError",
@@ -637,11 +640,23 @@ class Store:
         self._discard_pending()
         if changed and self._engine.wants_checkpoint():
             # snapshot checkpoints bound recovery time: the engine persists
-            # the full committed state and truncates its log
-            self._engine.checkpoint(
-                {name: frozenset(rows) for name, rows in self._data.items()},
-                self._version,
-            )
+            # the full committed state and truncates its log.  The commit
+            # itself is already durable (the WAL append above succeeded), so
+            # a failed checkpoint must not surface as a failed commit — the
+            # log tail still reconstructs this state; recovery just replays
+            # more of it
+            try:
+                self._engine.checkpoint(
+                    {name: frozenset(rows) for name, rows in self._data.items()},
+                    self._version,
+                )
+            except StorageEngineError as exc:
+                logger.warning(
+                    "checkpoint at version %d failed (%s); commit is durable "
+                    "via the log, recovery will replay a longer tail",
+                    self._version, exc,
+                )
+                _metrics.get_registry().counter("storage.checkpoint_errors").inc()
 
     def _discard_pending(self) -> None:
         self._log = None

@@ -42,11 +42,13 @@ import shutil
 import struct
 import tempfile
 import threading
+import time
 import warnings
 import weakref
 import zlib
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
+from .. import faults as _faults
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from .delta import Delta, DeltaError, decode_wire_value, encode_wire_value
@@ -216,7 +218,9 @@ class WalStorageEngine(StorageEngine):
             "checkpoints": 0,
             "recovered_batches": 0,
             "recovered_version": -1,
+            "orphan_frames": 0,
             "checkpoint_version": -1,
+            "checkpoint_failures": 0,
             "tail_dropped_bytes": 0,
         }
         # registry twins of the legacy counter dict (docs/observability.md);
@@ -225,6 +229,7 @@ class WalStorageEngine(StorageEngine):
         self._m_appends = registry.counter("wal.appends")
         self._m_fsyncs = registry.counter("wal.fsyncs")
         self._m_checkpoints = registry.counter("wal.checkpoints")
+        self._m_checkpoint_failures = registry.counter("wal.checkpoint_failures")
         self._m_recovered = registry.counter("wal.recovered_batches")
         self._m_tail_dropped = registry.counter("wal.tail_dropped_bytes")
         # the engine-agnostic commit count, shared with the in-memory engine
@@ -271,6 +276,7 @@ class WalStorageEngine(StorageEngine):
     def _maybe_fsync(self, handle, *, force: bool = False) -> None:
         if force or self.fsync_policy == "commit":
             if self.fsync_policy != "never":
+                _faults.fire("wal.fsync")
                 with _trace.span("wal.fsync"):
                     os.fsync(handle.fileno())
                 self._counters["fsyncs"] += 1
@@ -278,14 +284,43 @@ class WalStorageEngine(StorageEngine):
 
     def _append(self, kind: int, payload: bytes, *, force_sync: bool = False) -> None:
         handle = self._file()
+        lag = _faults.delay("wal.io.slow")
+        if lag > 0.0:
+            time.sleep(lag)
         try:
-            handle.write(_frame(kind, payload))
+            start = handle.tell()
+        except OSError:
+            start = None
+        try:
+            _faults.fire("wal.append")
+            frame = _frame(kind, payload)
+            if _faults.fired("wal.append.torn"):
+                # a torn write: persist a strict prefix of the frame, then
+                # fail the append as a crashed disk would — recovery must
+                # CRC-reject the partial record and truncate it away
+                handle.write(frame[: max(1, len(frame) // 2)])
+                handle.flush()
+                raise OSError(5, "injected torn append")
+            handle.write(frame)
             # always flush to the OS: an in-process "crash" (the store object
             # dying) must never lose an acked commit; fsync policy only
             # decides what survives an OS/power failure
             handle.flush()
             self._maybe_fsync(handle, force=force_sync)
-        except OSError as exc:
+        except (OSError, StorageEngineError, _faults.FaultError) as exc:
+            # best effort un-tear: drop whatever partial frame made it out so
+            # the log stays a clean record boundary and a retried commit does
+            # not land behind garbage.  This matters even when the write
+            # itself succeeded and only the fsync failed: the commit is
+            # reported failed and will be retried under the same version, so
+            # leaving the un-acked frame behind would put two frames with
+            # one version in the log
+            if start is not None:
+                try:
+                    handle.truncate(start)
+                    handle.seek(start)
+                except OSError:
+                    pass
             raise StorageEngineError(f"WAL append failed: {exc}") from exc
 
     # -- checkpoint files --------------------------------------------------------
@@ -321,16 +356,26 @@ class WalStorageEngine(StorageEngine):
         tmp = final + ".tmp"
         try:
             with open(tmp, "wb") as handle:
+                _faults.fire("wal.checkpoint.write")
                 handle.write(_frame(_KIND_CHECKPOINT, payload))
                 handle.flush()
                 if self.fsync_policy != "never":
                     os.fsync(handle.fileno())
                     self._counters["fsyncs"] += 1
                     self._m_fsyncs.inc()
+            _faults.fire("wal.checkpoint.rename")
             os.replace(tmp, final)
             if self.fsync_policy != "never":
                 _sync_directory(self.directory)
-        except OSError as exc:
+        except (OSError, _faults.FaultError) as exc:
+            # never leave a half-written snapshot where recovery could find
+            # it: the temp file is garbage the moment the write failed
+            self._counters["checkpoint_failures"] += 1
+            self._m_checkpoint_failures.inc()
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
             raise StorageEngineError(f"checkpoint write failed: {exc}") from exc
         # the checkpoint is durable: the log prefix and older snapshots are
         # dead weight from here on
@@ -406,22 +451,48 @@ class WalStorageEngine(StorageEngine):
                 mutable = {name: set() for name in schema.relation_names}
             checkpoint_version = version if checkpoint is not None else -1
             replayed = 0
+            orphans = 0
+            # decode once up front so duplicate versions can be resolved
+            # *before* anything is applied: a version can appear twice when
+            # an append failed after its bytes reached the file (the commit
+            # was never acked, the store retried under the same version and
+            # the retry's frame landed later).  The LAST frame of a version
+            # is the acked history; earlier ones are orphans to skip
+            decoded = []
+            for kind, payload, frame_end in frames:
+                if kind != _KIND_BATCH:
+                    decoded.append((kind, None, None, frame_end))
+                    continue
+                try:
+                    batch_version, delta_wire = decode_wire_value(payload)
+                    delta = Delta.from_wire(delta_wire)
+                except (DeltaError, TypeError, ValueError):
+                    decoded.append((kind, None, None, frame_end))
+                    continue
+                if not isinstance(batch_version, int):
+                    decoded.append((kind, None, None, frame_end))
+                    continue
+                decoded.append((kind, batch_version, delta, frame_end))
+            last_frame_for = {
+                batch_version: index
+                for index, (kind, batch_version, _d, _e) in enumerate(decoded)
+                if batch_version is not None
+            }
             # everything up to `good_end` is meaningful history; a frame that
             # parses but cannot replay (checkpoint kind inside the log, a
             # version gap, an undecodable delta) ends the history *there*, so
             # the truncation below keeps future appends contiguous with the
             # recovered state instead of burying them behind dead frames
             good_end = 0
-            for kind, payload, frame_end in frames:
+            for index, (kind, batch_version, delta, frame_end) in enumerate(decoded):
                 if kind != _KIND_BATCH:
                     break  # a checkpoint frame inside the log is corruption
-                try:
-                    batch_version, delta_wire = decode_wire_value(payload)
-                    delta = Delta.from_wire(delta_wire)
-                except (DeltaError, TypeError, ValueError):
+                if batch_version is None:
                     break  # framed-but-meaningless: stop at the last good batch
-                if not isinstance(batch_version, int):
-                    break
+                if last_frame_for[batch_version] != index:
+                    orphans += 1
+                    good_end = frame_end
+                    continue  # an un-acked duplicate: the later frame wins
                 if batch_version <= version:
                     good_end = frame_end
                     continue  # pre-checkpoint tail not yet truncated at crash
@@ -438,10 +509,18 @@ class WalStorageEngine(StorageEngine):
                 version = batch_version
                 replayed += 1
                 good_end = frame_end
+            if orphans:
+                logger.warning(
+                    "recovery skipped %d orphaned frame(s) whose version was "
+                    "re-appended by a commit retry; the acked (last) frames "
+                    "were replayed",
+                    orphans,
+                )
             self._truncate_to(good_end, len(data))
             self._last_version = version
             self._counters["recovered_batches"] = replayed
             self._counters["recovered_version"] = version
+            self._counters["orphan_frames"] = orphans
             self._counters["checkpoint_version"] = checkpoint_version
             self._m_recovered.inc(replayed)
             registry = _metrics.get_registry()
@@ -495,6 +574,7 @@ class WalStorageEngine(StorageEngine):
 
     def commit_batch(self, delta: Delta, version: int) -> None:
         with self._lock:
+            _faults.fire("storage.commit_batch")
             if self._last_version >= 0 and version != self._last_version + 1:
                 raise StorageEngineError(
                     f"non-contiguous commit: version {version} after "

@@ -50,10 +50,12 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from ..db.database import Database
 from ..db.delta import Delta
 from ..obs import metrics as _metrics
@@ -65,6 +67,8 @@ from .plan import Plan
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "BREAKER_THRESHOLD_ENV",
+    "BREAKER_COOLDOWN_ENV",
     "ShardExecutor",
     "InlineShardExecutor",
     "ThreadShardExecutor",
@@ -75,8 +79,87 @@ __all__ = [
 #: shipped-id bookkeeping per worker is reset past these bounds
 _RESET_BOUNDS = {"plans": 192, "domains": 96, "sigs": 64, "tables": 384}
 
-#: a worker slot is respawned at most this many times before going inline
-_MAX_RESPAWNS = 3
+#: environment knob: worker deaths before a slot's circuit breaker opens
+BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
+
+#: environment knob: seconds an open breaker waits before a half-open probe
+BREAKER_COOLDOWN_ENV = "REPRO_BREAKER_COOLDOWN"
+
+DEFAULT_BREAKER_THRESHOLD = 5
+DEFAULT_BREAKER_COOLDOWN = 5.0
+
+
+def _env_number(name: str, fallback, cast):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return cast(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {name}={raw!r}; expected a number — "
+            f"using {fallback}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return fallback
+
+
+class _Breaker:
+    """Per-slot circuit breaker over worker respawns.
+
+    *Closed* while the death count stays under ``threshold``: every death is
+    followed by an ordinary lazy respawn.  At ``threshold`` consecutive
+    deaths the breaker *opens* — the slot stops being respawned and its
+    shards run inline (degraded but correct) — until ``cooldown`` seconds
+    pass, when one *half-open* respawn probe is allowed.  A successful task
+    reply closes the breaker again; a probe that dies re-opens it for
+    another cooldown.
+    """
+
+    __slots__ = ("threshold", "cooldown", "failures", "opened_at", "trips")
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = max(1, threshold)
+        self.cooldown = max(0.0, cooldown)
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if time.monotonic() - self.opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def record_failure(self) -> bool:
+        """Count one worker death; returns True when this death trips it open."""
+        self.failures += 1
+        if self.failures >= self.threshold:
+            first = self.opened_at is None
+            self.opened_at = time.monotonic()
+            if first:
+                self.trips += 1
+            return first
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+    def allows_respawn(self) -> bool:
+        """May this slot spawn a replacement right now?"""
+        if self.opened_at is None:
+            return True
+        if time.monotonic() - self.opened_at >= self.cooldown:
+            # half-open: grant exactly one probe per cooldown window by
+            # re-arming the clock — a probe that dies again waits a full
+            # cooldown instead of hot-looping respawns
+            self.opened_at = time.monotonic()
+            return True
+        return False
 
 
 class _WorkerDied(RuntimeError):
@@ -498,7 +581,14 @@ class ProcessShardExecutor(ShardExecutor):
 
     kind = "procs"
 
-    def __init__(self, num_shards: int, procs: int, memo_size: int = 256):
+    def __init__(
+        self,
+        num_shards: int,
+        procs: int,
+        memo_size: int = 256,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: Optional[float] = None,
+    ):
         self.num_shards = num_shards
         self.procs = max(1, min(int(procs), num_shards))
         self._memo_size = memo_size
@@ -506,6 +596,18 @@ class ProcessShardExecutor(ShardExecutor):
         self._workers: Optional[List[_Worker]] = None
         self._broken = False
         self._closed = False
+        if breaker_threshold is None:
+            breaker_threshold = _env_number(
+                BREAKER_THRESHOLD_ENV, DEFAULT_BREAKER_THRESHOLD, int
+            )
+        if breaker_cooldown is None:
+            breaker_cooldown = _env_number(
+                BREAKER_COOLDOWN_ENV, DEFAULT_BREAKER_COOLDOWN, float
+            )
+        self._breakers = [
+            _Breaker(breaker_threshold, breaker_cooldown)
+            for _ in range(self.procs)
+        ]
         self._ids = itertools.count(1)
         self._runs = itertools.count(1)
         # content-keyed id tables: same content -> same id -> nothing reships
@@ -523,10 +625,12 @@ class ProcessShardExecutor(ShardExecutor):
         self._m_task_hits = registry.counter("executor.task_hits")
         self._m_fallbacks = registry.counter("executor.fallbacks")
         self._m_restarts = registry.counter("executor.restarts")
+        self._m_breaker_trips = registry.counter("executor.breaker_trips")
 
     # -- lifecycle ---------------------------------------------------------------
 
     def _spawn(self, slot: int, respawns: int) -> _Worker:
+        _faults.fire("executor.spawn")
         ctx_kind = (
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
@@ -624,6 +728,12 @@ class ProcessShardExecutor(ShardExecutor):
             if worker is None:
                 failed.append(i)
                 continue
+            if _faults.fired("executor.crash"):
+                # injected worker crash: kill the process exactly as a real
+                # segfault would, then take the ordinary dead-worker path
+                self._mark_dead(worker)
+                failed.append(i)
+                continue
             try:
                 message = self._build_task(worker, run, info, i, node, node_id,
                                            keys[i], task)
@@ -650,6 +760,9 @@ class ProcessShardExecutor(ShardExecutor):
             if not worker.alive:
                 failed.append(i)
                 continue
+            lag = _faults.delay("executor.reply.slow")
+            if lag > 0.0:
+                time.sleep(lag)
             try:
                 reply = worker.conn.recv()
             except (EOFError, OSError):
@@ -661,6 +774,9 @@ class ProcessShardExecutor(ShardExecutor):
                 reply = reply[2]
             if reply[0] == "ok" and len(reply) == 3:
                 out[i] = reply[1]
+                # a real task reply is the breaker's health proof: a probe
+                # that answers closes the slot's breaker again
+                self._breakers[worker.slot].record_success()
                 self.tasks += 1
                 self._m_tasks.inc()
                 if reply[2]:
@@ -682,22 +798,29 @@ class ProcessShardExecutor(ShardExecutor):
         worker = self._workers[slot]
         if worker.alive:
             return worker
-        if worker.respawns >= _MAX_RESPAWNS:
+        breaker = self._breakers[slot]
+        if not breaker.allows_respawn():
+            # breaker open: the slot crash-looped past the threshold and is
+            # inside its cooldown — its shards run inline, no respawn churn
             return None
         try:
             replacement = self._spawn(slot, worker.respawns + 1)
         except Exception as exc:
-            logger.warning(
-                "shard worker slot %d (shard %d) could not be respawned (%s); "
-                "its shards run in-process from now on",
-                slot, i, exc,
-            )
-            worker.respawns = _MAX_RESPAWNS
+            if breaker.record_failure():
+                self._trip(slot, breaker, f"respawn failed: {exc}")
+            else:
+                logger.warning(
+                    "shard worker slot %d (shard %d) could not be respawned "
+                    "(%s); running inline this round (death %d of %d before "
+                    "the breaker opens)",
+                    slot, i, exc, breaker.failures, breaker.threshold,
+                )
             return None
         logger.warning(
             "shard worker slot %d died; respawned for shard %d "
-            "(respawn %d of %d), state re-attaches lazily",
-            slot, i, replacement.respawns, _MAX_RESPAWNS,
+            "(death %d of %d before the breaker opens), state re-attaches "
+            "lazily",
+            slot, i, breaker.failures, breaker.threshold,
         )
         # fresh process: shipped-id bookkeeping starts empty, so shard state,
         # plans and tables re-attach lazily from the coordinator's current
@@ -707,10 +830,22 @@ class ProcessShardExecutor(ShardExecutor):
         self._m_restarts.inc()
         return replacement
 
+    def _trip(self, slot: int, breaker: _Breaker, cause: str) -> None:
+        self._m_breaker_trips.inc()
+        logger.warning(
+            "shard worker slot %d crash-looped %d time(s) (%s): circuit "
+            "breaker OPEN — its shards degrade to inline execution for "
+            "%.1fs, then one respawn probe",
+            slot, breaker.failures, cause, breaker.cooldown,
+        )
+
     def _mark_dead(self, worker: _Worker) -> None:
         if not worker.alive:
             return
         worker.alive = False
+        breaker = self._breakers[worker.slot]
+        if breaker.record_failure():
+            self._trip(worker.slot, breaker, "worker died mid-batch")
         try:
             worker.conn.close()
         except Exception:
@@ -950,6 +1085,8 @@ class ProcessShardExecutor(ShardExecutor):
                 "proc_task_hits": self.task_hits,
                 "proc_fallbacks": self.fallbacks,
                 "proc_restarts": self.restarts,
+                "proc_breaker_trips": sum(b.trips for b in self._breakers),
+                "proc_breaker_states": tuple(b.state for b in self._breakers),
             }
             per_worker: Dict[int, object] = {}
             for worker in self._workers or ():

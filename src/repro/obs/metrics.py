@@ -86,11 +86,13 @@ LEGACY_KEY_MAP: Dict[str, str] = {
     "proc_task_hits": "executor.task_hits",
     "proc_fallbacks": "executor.fallbacks",
     "proc_restarts": "executor.restarts",
+    "proc_breaker_trips": "executor.breaker_trips",
     # Store.storage_stats() / WalStorageEngine.stats()
     "wal_appends": "wal.appends",
     "fsyncs": "wal.fsyncs",
     "checkpoints": "wal.checkpoints",
     "recovered_batches": "wal.recovered_batches",
+    "checkpoint_failures": "wal.checkpoint_failures",
     "tail_dropped_bytes": "wal.tail_dropped_bytes",
     "batches": "storage.batches",
     # TransactionStats
@@ -112,6 +114,8 @@ LEGACY_KEY_MAP: Dict[str, str] = {
     "static_skips": "service.admission.static_skips",
     "guard_checks": "service.admission.guard_checks",
     "runtime_checks": "service.admission.runtime_checks",
+    "transient_retries": "service.transient_retries",
+    "commit_failures": "service.commit_failures",
 }
 
 

@@ -168,6 +168,51 @@ class ServeClient:
         """Pipelined transaction burst: ``submissions`` are ``/txn`` bodies."""
         return self.pipeline([("POST", "/txn", body) for body in submissions])
 
+    def submit_retrying(
+        self,
+        template: Optional[str] = None,
+        params: Sequence[object] = (),
+        ops: Optional[Sequence[object]] = None,
+        tag: Optional[object] = None,
+        max_retries: int = 4,
+        backoff: float = 0.05,
+        deadline_ms: Optional[float] = None,
+    ) -> Tuple[int, object]:
+        """`submit` with client-side resilience.
+
+        Retries (with exponential backoff, honoring a server ``retry_after``
+        hint) when the server sheds the request (503) or reports a
+        *retryable* abort — the typed outcome of a transient commit-path
+        failure.  Gives back the last response when the budget runs out.
+        ``deadline_ms`` is forwarded per attempt so the server stops
+        spending time on a request whose client has given up.
+        """
+        body = _txn_body(template, params, ops, tag)
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        attempt = 0
+        while True:
+            status, payload = self.request("POST", "/txn", body)
+            retryable = (
+                status == 503
+                or (
+                    status == 200
+                    and isinstance(payload, dict)
+                    and payload.get("status") == "aborted"
+                    and payload.get("retryable")
+                )
+            )
+            if not retryable or attempt >= max_retries:
+                return status, payload
+            attempt += 1
+            pause = backoff * (2 ** (attempt - 1))
+            if isinstance(payload, dict) and "retry_after" in payload:
+                try:
+                    pause = max(pause, float(payload["retry_after"]))
+                except (TypeError, ValueError):
+                    pass
+            time.sleep(min(pause, 5.0))
+
     def contains(self, relation: str, row: Sequence[object]) -> object:
         return self.request("POST", "/read", {"contains": [relation, list(row)]})[1]
 

@@ -158,26 +158,39 @@ def drain_requests(buffer: bytes) -> Tuple[List[Request], bytes]:
 
 
 def encode_response(
-    status: int, body: bytes, content_type: str = "application/json"
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Sequence[Tuple[str, str]] = (),
 ) -> bytes:
     reason = _REASONS.get(status, "Unknown")
+    extras = "".join(f"{name}: {value}\r\n" for name, value in extra_headers)
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
         "Connection: keep-alive\r\n\r\n"
     )
     return head.encode("ascii") + body
 
 
-def json_response(status: int, payload: object) -> bytes:
+def json_response(
+    status: int,
+    payload: object,
+    extra_headers: Sequence[Tuple[str, str]] = (),
+) -> bytes:
     return encode_response(
-        status, json.dumps(payload, sort_keys=True).encode("utf-8")
+        status,
+        json.dumps(payload, sort_keys=True).encode("utf-8"),
+        extra_headers=extra_headers,
     )
 
 
-def error_response(status: int, message: str) -> bytes:
-    return json_response(status, {"error": message})
+def error_response(
+    status: int, message: str, extra_headers: Sequence[Tuple[str, str]] = ()
+) -> bytes:
+    return json_response(status, {"error": message}, extra_headers=extra_headers)
 
 
 # ---------------------------------------------------------------------------

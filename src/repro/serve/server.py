@@ -40,6 +40,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
+from .. import faults as _faults
 from ..logic.parser import parse as parse_formula
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
@@ -59,7 +60,9 @@ __all__ = [
     "SERVE_HOST_ENV",
     "SERVE_PORT_ENV",
     "SERVE_WORKERS_ENV",
+    "SERVE_QUEUE_ENV",
     "default_serve_workers",
+    "default_serve_queue",
     "standard_wire_templates",
     "preregister",
     "TransactionServer",
@@ -71,6 +74,17 @@ __all__ = [
 SERVE_HOST_ENV = "REPRO_SERVE_HOST"
 SERVE_PORT_ENV = "REPRO_SERVE_PORT"
 SERVE_WORKERS_ENV = "REPRO_SERVE_WORKERS"
+
+#: environment knob: max in-flight requests before the server sheds load
+SERVE_QUEUE_ENV = "REPRO_SERVE_QUEUE"
+
+DEFAULT_SERVE_QUEUE = 4096
+
+#: seconds after the last shed during which /health reports "degraded"
+_DEGRADED_WINDOW = 5.0
+
+#: the Retry-After hint handed to shed clients (seconds)
+_RETRY_AFTER = 1
 
 #: per-endpoint latency histogram bounds (milliseconds, network round trips)
 _LATENCY_MS_BUCKETS = (0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
@@ -105,6 +119,30 @@ def default_serve_workers(fallback: int = 8) -> int:
     return fallback
 
 
+def default_serve_queue(fallback: int = DEFAULT_SERVE_QUEUE) -> int:
+    """In-flight request bound selected by ``REPRO_SERVE_QUEUE``.
+
+    Requests beyond the bound are shed with ``503`` + ``Retry-After``
+    instead of queueing without limit — an overloaded server stays
+    responsive (health, metrics and the requests it admitted) rather than
+    building unbounded dispatch debt.
+    """
+    import warnings
+
+    raw = os.environ.get(SERVE_QUEUE_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            warnings.warn(
+                f"ignoring invalid {SERVE_QUEUE_ENV}={raw!r}; expected an "
+                f"integer — using {fallback}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return fallback
+
+
 class TransactionServer:
     """One asyncio TCP server in front of one :class:`TransactionService`.
 
@@ -120,11 +158,15 @@ class TransactionServer:
         port: int = 0,
         workers: Optional[int] = None,
         owns_service: bool = False,
+        max_inflight: Optional[int] = None,
     ):
         self.service = service
         self.host = host
         self.port = port
         self.workers = workers if workers is not None else default_serve_workers()
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else default_serve_queue()
+        )
         self.address: Optional[Tuple[str, int]] = None
         self._owns_service = owns_service
         self._server: Optional[asyncio.AbstractServer] = None
@@ -136,11 +178,18 @@ class TransactionServer:
         self._templates: Dict[str, WireTemplate] = {}
         self._templates_lock = threading.Lock()
         self._formula_cache: Dict[str, object] = {}
+        # event-loop-thread-only overload state: the admission check and the
+        # increments all run on the loop, so a plain int is race-free
+        self._inflight = 0
+        self._shed_total = 0
+        self._last_shed = 0.0
         registry = _metrics.get_registry()
         self._m_inflight = registry.gauge("serve.inflight")
         self._m_connections = registry.gauge("serve.connections")
         self._m_requests = registry.counter("serve.requests")
         self._m_errors = registry.counter("serve.errors")
+        self._m_shed = registry.counter("serve.shed")
+        self._m_client_disconnects = registry.counter("serve.client_disconnects")
         self._m_batches = registry.counter("serve.batches")
         self._m_batch_requests = registry.counter("serve.batched_requests")
         self._m_batch_size = registry.histogram(
@@ -205,8 +254,20 @@ class TransactionServer:
                     break
                 if requests:
                     responses = await self._dispatch(requests)
-                    writer.write(b"".join(responses))
-                    await writer.drain()
+                    try:
+                        if _faults.fired("serve.write.reset"):
+                            # injected mid-response reset: drop the transport
+                            # exactly as a vanished client would
+                            writer.transport.abort()
+                            raise ConnectionResetError("injected client reset")
+                        writer.write(b"".join(responses))
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        # the client went away mid-response: its transactions
+                        # (if any) already committed — close this connection
+                        # quietly, the outcome is durable regardless
+                        self._m_client_disconnects.inc()
+                        break
                     continue
                 if self._closing:
                     break
@@ -214,7 +275,9 @@ class TransactionServer:
                 if not data:
                     break
                 buffer += data
-        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+        except (ConnectionResetError, BrokenPipeError):
+            self._m_client_disconnects.inc()
+        except asyncio.CancelledError:
             pass
         finally:
             self._connections.discard(task)
@@ -227,6 +290,11 @@ class TransactionServer:
 
     async def _read_or_shutdown(self, reader) -> bytes:
         """One socket read, interruptible by shutdown (returns ``b""`` then)."""
+        lag = _faults.delay("serve.read.slow")
+        if lag > 0.0:
+            # slow-loris simulation: the *await* keeps the loop free — only
+            # this connection's read stalls
+            await asyncio.sleep(lag)
         read_task = asyncio.ensure_future(reader.read(_READ_CHUNK))
         shut_task = asyncio.ensure_future(self._shutdown.wait())
         done, _pending = await asyncio.wait(
@@ -261,7 +329,33 @@ class TransactionServer:
         route = self._route_name(request)
         begun = time.perf_counter()
         self._m_requests.inc()
-        self._m_inflight.inc()
+        # only the dispatch-bound routes consume (and are limited by)
+        # capacity — control-plane probes must neither be shed nor make a
+        # bounded server look busy to its own health check
+        bounded = route in ("txn", "read", "templates")
+        if bounded and self._inflight >= self.max_inflight:
+            # overload: shed the dispatch-bound routes with an explicit
+            # retry hint instead of queueing without bound — health and
+            # metrics stay answerable so operators can see the overload
+            self._shed_total += 1
+            self._last_shed = time.monotonic()
+            self._m_shed.inc()
+            # the hint rides both the header (HTTP-proper) and the body
+            # (for clients that only look at the JSON payload)
+            return json_response(
+                503,
+                {
+                    "error": (
+                        f"overloaded: {self._inflight} requests in flight "
+                        f"(bound {self.max_inflight})"
+                    ),
+                    "retry_after": _RETRY_AFTER,
+                },
+                extra_headers=(("Retry-After", str(_RETRY_AFTER)),),
+            )
+        if bounded:
+            self._inflight += 1
+            self._m_inflight.inc()
         try:
             return await self._handle(route, request)
         except ProtocolError as exc:
@@ -274,7 +368,9 @@ class TransactionServer:
             self._m_errors.inc()
             return error_response(500, f"internal error: {exc!r}")
         finally:
-            self._m_inflight.dec()
+            if bounded:
+                self._inflight -= 1
+                self._m_inflight.dec()
             histogram = self._m_latency.get(route)
             if histogram is not None:
                 histogram.observe((time.perf_counter() - begun) * 1e3)
@@ -286,8 +382,22 @@ class TransactionServer:
     async def _handle(self, route: str, request: Request) -> bytes:
         method, path = request.method, request.path
         if path in ("/", "/health") and method == "GET":
+            # "degraded" = actively shedding, or shed within the last few
+            # seconds — load balancers use this to steer traffic away while
+            # the server is still alive and draining
+            degraded = self._inflight >= self.max_inflight or (
+                self._shed_total > 0
+                and time.monotonic() - self._last_shed < _DEGRADED_WINDOW
+            )
             return json_response(
-                200, {"status": "ok", "version": self.service.store.version}
+                200,
+                {
+                    "status": "degraded" if degraded else "ok",
+                    "version": self.service.store.version,
+                    "inflight": self._inflight,
+                    "max_inflight": self.max_inflight,
+                    "shed": self._shed_total,
+                },
             )
         if path == "/metrics" and method == "GET":
             text = _metrics.get_registry().to_prometheus()
@@ -310,7 +420,17 @@ class TransactionServer:
         return error_response(404, f"no route for {method} {path}")
 
     async def _in_worker(self, fn, request: Request) -> bytes:
-        return await self._loop.run_in_executor(self._pool, fn, request)
+        future = self._loop.run_in_executor(self._pool, fn, request)
+        try:
+            return await future
+        except asyncio.CancelledError:
+            # the awaiting side was cancelled (connection torn down) but the
+            # worker keeps running — retrieve its eventual result/exception
+            # so nothing leaks an "exception was never retrieved" warning
+            future.add_done_callback(
+                lambda f: f.cancelled() or f.exception()
+            )
+            raise
 
     # -- handlers (worker threads) ----------------------------------------------
 
@@ -346,6 +466,12 @@ class TransactionServer:
         with _trace.span("serve.request", route="txn") as span:
             name = payload.get("template")
             tag = payload.get("tag")
+            deadline = None
+            deadline_ms = payload.get("deadline_ms")
+            if deadline_ms is not None:
+                if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                    raise ProtocolError("'deadline_ms' must be a positive number")
+                deadline = time.monotonic() + float(deadline_ms) / 1e3
             if name is not None:
                 if not isinstance(name, str):
                     raise ProtocolError("'template' must be a string")
@@ -359,14 +485,16 @@ class TransactionServer:
                     raise ProtocolError(f"unknown template {name!r}")
                 work = template.tracked_work(params)
                 outcome = self.service.execute(
-                    work, template=name, params=params, tag=tag
+                    work, template=name, params=params, tag=tag, deadline=deadline
                 )
             elif "ops" in payload:
                 # ad-hoc transaction: no admission verdicts, runtime checks
                 anonymous = WireTemplate(
                     {"name": "_adhoc", "ops": payload["ops"], "samples": [[]]}
                 )
-                outcome = self.service.execute(anonymous.tracked_work(()), tag=tag)
+                outcome = self.service.execute(
+                    anonymous.tracked_work(()), tag=tag, deadline=deadline
+                )
             else:
                 raise ProtocolError("txn body needs 'template' or 'ops'")
             span.annotate(status=outcome.status)
@@ -439,6 +567,7 @@ def _outcome_payload(outcome: TxnOutcome) -> Dict[str, object]:
         "reason": outcome.reason,
         "version": outcome.version,
         "attempts": outcome.attempts,
+        "retryable": outcome.retryable,
     }
 
 
@@ -518,10 +647,11 @@ class ServerThread:
         port: int = 0,
         workers: Optional[int] = None,
         owns_service: bool = False,
+        max_inflight: Optional[int] = None,
     ):
         self.server = TransactionServer(
             service, host=host, port=port, workers=workers,
-            owns_service=owns_service,
+            owns_service=owns_service, max_inflight=max_inflight,
         )
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None

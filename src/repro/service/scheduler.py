@@ -48,9 +48,13 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import warnings
+
+from .. import faults as _faults
 from ..core.maintenance import Constraint
 from ..db.database import Database
 from ..db.delta import Delta
+from ..db.engines import StorageEngineError
 from ..db.storage import Store
 from ..engine.backend import Backend, active_backend
 from ..logic.signature import EMPTY_SIGNATURE, Signature
@@ -65,7 +69,10 @@ logger = logging.getLogger(__name__)
 
 __all__ = [
     "WORKERS_ENV",
+    "COMMIT_RETRIES_ENV",
     "default_workers",
+    "default_commit_retries",
+    "classify_commit_error",
     "ServiceStats",
     "TxnOutcome",
     "TransactionService",
@@ -74,7 +81,49 @@ __all__ = [
 #: environment knob: default worker-thread count of the workload driver
 WORKERS_ENV = "REPRO_SERVICE_WORKERS"
 
+#: environment knob: transparent retries of a retryable commit failure
+COMMIT_RETRIES_ENV = "REPRO_COMMIT_RETRIES"
+
+DEFAULT_COMMIT_RETRIES = 3
+
+#: exponential backoff between transient-failure retries: base doubling per
+#: attempt, capped — a flapping disk gets breathing room without parking a
+#: client for seconds
+_BACKOFF_BASE = 0.01
+_BACKOFF_CAP = 0.5
+
 Work = Union[Transaction, Callable[[SnapshotTransaction], object]]
+
+
+def default_commit_retries(fallback: int = DEFAULT_COMMIT_RETRIES) -> int:
+    """Retry budget selected by ``REPRO_COMMIT_RETRIES`` (default 3)."""
+    raw = os.environ.get(COMMIT_RETRIES_ENV, "").strip()
+    if not raw:
+        return fallback
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {COMMIT_RETRIES_ENV}={raw!r}; expected an "
+            f"integer — using {fallback}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return fallback
+    return max(0, value)
+
+
+def classify_commit_error(exc: BaseException) -> bool:
+    """Is this commit-path failure worth retrying?
+
+    *Retryable* failures are environmental: the storage engine refused the
+    batch (flaky disk, injected fault), an OS-level I/O error, a timeout.
+    Everything else — constraint logic blowing up, a TypeError in client
+    work — is deterministic and retrying would only repeat it.
+    """
+    return isinstance(
+        exc, (StorageEngineError, OSError, TimeoutError, _faults.FaultError)
+    )
 
 
 def default_workers(fallback: int = 8) -> int:
@@ -107,6 +156,8 @@ _SERVICE_METRICS = {
     "static_skips": "service.admission.static_skips",
     "guard_checks": "service.admission.guard_checks",
     "runtime_checks": "service.admission.runtime_checks",
+    "transient_retries": "service.transient_retries",
+    "commit_failures": "service.commit_failures",
 }
 
 #: group-commit amortisation is the interesting distribution — count buckets
@@ -120,6 +171,7 @@ class ServiceStats:
         "submitted", "committed", "read_only_commits", "conflicts", "retries",
         "serial_fallbacks", "rejected", "aborted", "batches", "batched_commits",
         "max_batch", "static_skips", "guard_checks", "runtime_checks",
+        "transient_retries", "commit_failures",
     )
 
     def __init__(self) -> None:
@@ -170,14 +222,20 @@ class TxnOutcome:
     ``status`` is ``"committed"`` (its delta is durable at ``version``),
     ``"rejected"`` (an admission guard refused it before execution effects —
     the no-rollback path), or ``"aborted"`` (a runtime constraint check on
-    the post-state failed).  Conflicts never surface here: they are retried
-    internally and only show up in ``attempts`` and the service stats.
+    the post-state failed, or the commit path itself failed).  Conflicts
+    never surface here: they are retried internally and only show up in
+    ``attempts`` and the service stats.  ``retryable`` marks an abort caused
+    by a *transient* commit-path failure (storage refusal, I/O error): the
+    transaction itself is fine and a later resubmission may succeed — the
+    service already spent its own ``commit_retries`` budget before giving
+    this back.
     """
 
     status: str
     reason: str = ""
     version: int = -1
     attempts: int = 1
+    retryable: bool = False
 
     @property
     def committed(self) -> bool:
@@ -187,7 +245,7 @@ class TxnOutcome:
 class _CommitRequest:
     __slots__ = (
         "handle", "delta", "template", "params", "work", "serial", "tag",
-        "done", "status", "reason", "version",
+        "done", "status", "reason", "version", "retryable",
     )
 
     def __init__(self, handle, delta, template, params, work, serial, tag=None):
@@ -202,6 +260,7 @@ class _CommitRequest:
         self.status = "pending"
         self.reason = ""
         self.version = -1
+        self.retryable = False
 
 
 class TransactionService:
@@ -223,6 +282,7 @@ class TransactionService:
         admission: Optional[AdmissionController] = None,
         max_retries: int = 8,
         commit_timeout: float = 60.0,
+        commit_retries: Optional[int] = None,
         backend: Optional[Backend] = None,
         history_limit: int = 1024,
         owns_backend: bool = False,
@@ -253,6 +313,10 @@ class TransactionService:
         self.snapshots = SnapshotManager(store, history_limit=history_limit)
         self.max_retries = max_retries
         self.commit_timeout = commit_timeout
+        self.commit_retries = (
+            default_commit_retries() if commit_retries is None
+            else max(0, commit_retries)
+        )
         self.stats = ServiceStats()
         self._queue_lock = threading.Lock()
         self._queue: List[_CommitRequest] = []
@@ -316,6 +380,7 @@ class TransactionService:
         template: Optional[str] = None,
         params: Tuple = (),
         tag: Optional[object] = None,
+        deadline: Optional[float] = None,
     ) -> TxnOutcome:
         """Run one client transaction to a final outcome (thread-safe).
 
@@ -329,7 +394,16 @@ class TransactionService:
         ``max_retries`` optimistic rounds the transaction is executed by the
         group-commit leader inside the critical section, so this method
         always terminates with a definitive outcome (or raises
-        :class:`ServiceError` on timeout).
+        :class:`ServiceError` on timeout).  Transient commit-path failures
+        (see :func:`classify_commit_error`) are retried up to
+        ``commit_retries`` times with exponential backoff before surfacing
+        as a ``retryable`` abort.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: once it
+        passes, conflict/transient retry loops stop and the transaction
+        surfaces its current outcome (or a :class:`ServiceError` if it never
+        reached a leader).  Callers propagate it down from their own client
+        budget; ``None`` keeps the classic commit_timeout-only behavior.
         """
         if isinstance(work, Transaction):
             transaction = work
@@ -345,7 +419,7 @@ class TransactionService:
             work = lambda handle: handle.apply(transaction)  # noqa: E731
         self.stats.add(submitted=1)
         with _trace.span("service.txn", template=template) as txn_span:
-            outcome = self._execute_loop(work, template, params, tag)
+            outcome = self._execute_loop(work, template, params, tag, deadline)
             txn_span.annotate(status=outcome.status, attempts=outcome.attempts)
         return outcome
 
@@ -355,11 +429,17 @@ class TransactionService:
         template: Optional[str],
         params: Tuple,
         tag: Optional[object],
+        deadline: Optional[float] = None,
     ) -> TxnOutcome:
         attempts = 0
+        transient = 0
         while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    "deadline exceeded before the transaction reached an outcome"
+                )
             attempts += 1
-            serial = attempts > self.max_retries
+            serial = attempts - transient > self.max_retries
             if serial:
                 self.stats.add(serial_fallbacks=1)
                 logger.warning(
@@ -390,18 +470,41 @@ class TransactionService:
                 request = _CommitRequest(
                     handle, delta, template, params, work, False, tag
                 )
-            self._submit_and_wait(request)
+            self._submit_and_wait(request, deadline)
             if request.status == "conflict":
                 self.stats.add(conflicts=1, retries=1)
                 continue
+            if (
+                request.status == "aborted"
+                and request.retryable
+                and transient < self.commit_retries
+            ):
+                # a transient commit-path failure (storage refusal, injected
+                # I/O error): the transaction itself is fine — back off and
+                # resubmit against a fresh snapshot
+                transient += 1
+                self.stats.add(transient_retries=1)
+                backoff = min(_BACKOFF_BASE * (2 ** (transient - 1)), _BACKOFF_CAP)
+                if deadline is not None:
+                    backoff = min(backoff, max(0.0, deadline - time.monotonic()))
+                logger.warning(
+                    "transient commit failure (%s); retry %d/%d after %.0f ms",
+                    request.reason, transient, self.commit_retries, backoff * 1e3,
+                )
+                if backoff > 0:
+                    time.sleep(backoff)
+                continue
             self.stats.add(**{request.status: 1})
             return TxnOutcome(
-                request.status, request.reason, request.version, attempts
+                request.status, request.reason, request.version, attempts,
+                retryable=request.retryable,
             )
 
     # -- the group-commit pipeline ---------------------------------------------------
 
-    def _submit_and_wait(self, request: _CommitRequest) -> None:
+    def _submit_and_wait(
+        self, request: _CommitRequest, client_deadline: Optional[float] = None
+    ) -> None:
         """Enqueue ``request`` and drive/await the group-commit leader.
 
         Followers never poll: a thread that loses the leader election blocks
@@ -416,6 +519,8 @@ class TransactionService:
         with self._queue_lock:
             self._queue.append(request)
         deadline = time.monotonic() + self.commit_timeout
+        if client_deadline is not None:
+            deadline = min(deadline, client_deadline)
         with _trace.span("service.leader_wait", serial=request.serial) as span:
             became_leader = False
             while not request.done.is_set():
@@ -476,6 +581,9 @@ class TransactionService:
         block marks anything still pending and wakes every waiter even when
         the leader itself blows up mid-batch.
         """
+        lag = _faults.delay("service.leader.stall")
+        if lag > 0.0:
+            time.sleep(lag)
         with self._queue_lock:
             batch = list(self._queue)
             self._queue.clear()
@@ -518,6 +626,31 @@ class TransactionService:
                         try:
                             self.store.apply_delta(batch_delta)
                             self.store.commit_unchecked()
+                        except Exception as exc:  # noqa: BLE001 - classified below
+                            # the storage engine (or the apply itself) refused
+                            # the batch: the store rolled nothing committed
+                            # back, so every survivor aborts with a *typed*
+                            # outcome instead of the leader's raw exception —
+                            # the client decides whether to resubmit based on
+                            # the retryable classification
+                            if self.store.in_transaction:
+                                self.store.rollback()
+                            retryable = classify_commit_error(exc)
+                            self.stats.add(commit_failures=1)
+                            logger.warning(
+                                "group-commit batch of %d failed at the store "
+                                "(%s: %s); aborting batch as %s",
+                                len(survivors), type(exc).__name__, exc,
+                                "retryable" if retryable else "fatal",
+                            )
+                            for request in survivors:
+                                request.status = "aborted"
+                                request.reason = (
+                                    f"commit failed ({type(exc).__name__}): {exc}"
+                                )
+                                request.retryable = retryable
+                            gc_span.annotate(committed=0, error=type(exc).__name__)
+                            return
                         except BaseException:
                             if self.store.in_transaction:
                                 self.store.rollback()
@@ -551,6 +684,9 @@ class TransactionService:
         it commits, ``None`` otherwise — with ``request.status`` set to the
         conflict/rejection/abort it suffered.
         """
+        lag = _faults.delay("service.validate.delay")
+        if lag > 0.0:
+            time.sleep(lag)
         if request.serial:
             handle = SnapshotTransaction(
                 running, -1, self.signature, self.backend

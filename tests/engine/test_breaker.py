@@ -1,0 +1,176 @@
+"""The process-pool circuit breaker: crash loops degrade, cool-downs recover.
+
+The acceptance scenario: a worker slot whose process keeps dying — killed
+five times in a row without a healthy reply in between — trips its breaker.
+The trip is observable (WARNING log + ``executor.breaker_trips`` metric),
+the backend keeps answering correctly via inline degradation while the
+breaker is open, and after the cool-down a half-open probe respawns the
+worker and a healthy reply closes the breaker again.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import pytest
+
+from repro import faults
+from repro.db import Database, chain
+from repro.engine import NaiveBackend, ShardedBackend
+from repro.engine.executors import (
+    BREAKER_COOLDOWN_ENV,
+    BREAKER_THRESHOLD_ENV,
+    DEFAULT_BREAKER_COOLDOWN,
+    DEFAULT_BREAKER_THRESHOLD,
+    ProcessShardExecutor,
+    _Breaker,
+)
+from repro.logic import parse
+
+ORACLE = NaiveBackend()
+NO_LOOPS = parse("forall x . ~E(x, x)")
+
+
+@pytest.fixture(autouse=True)
+def clean_hooks():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def fresh_graph(round_no: int) -> Database:
+    # distinct content each round so the content-keyed caches cannot absorb
+    # the dispatch — every evaluation must actually reach the pool
+    return Database.graph([(i, i + 1 + round_no) for i in range(5)])
+
+
+class TestBreakerUnit:
+    def test_trips_at_threshold_and_only_counts_the_transition(self):
+        breaker = _Breaker(threshold=3, cooldown=60.0)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == "closed"
+        assert breaker.record_failure() is True  # the trip
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert breaker.record_failure() is False  # already open: no re-trip
+        assert breaker.trips == 1
+
+    def test_open_blocks_respawn_until_cooldown(self):
+        breaker = _Breaker(threshold=1, cooldown=0.05)
+        breaker.record_failure()
+        assert breaker.allows_respawn() is False
+        time.sleep(0.06)
+        assert breaker.state == "half-open"
+        assert breaker.allows_respawn() is True  # the single probe
+        # the probe re-armed the clock: no hot-loop of respawns
+        assert breaker.allows_respawn() is False
+
+    def test_success_closes_and_resets(self):
+        breaker = _Breaker(threshold=2, cooldown=0.01)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+        assert breaker.allows_respawn() is True
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv(BREAKER_THRESHOLD_ENV, "2")
+        monkeypatch.setenv(BREAKER_COOLDOWN_ENV, "0.5")
+        executor = ProcessShardExecutor(num_shards=2, procs=1)
+        try:
+            assert executor._breakers[0].threshold == 2
+            assert executor._breakers[0].cooldown == 0.5
+        finally:
+            executor.close()
+        monkeypatch.setenv(BREAKER_THRESHOLD_ENV, "lots")
+        monkeypatch.delenv(BREAKER_COOLDOWN_ENV)
+        with pytest.warns(RuntimeWarning, match=BREAKER_THRESHOLD_ENV):
+            fallback = ProcessShardExecutor(num_shards=2, procs=1)
+        try:
+            assert fallback._breakers[0].threshold == DEFAULT_BREAKER_THRESHOLD
+            assert fallback._breakers[0].cooldown == DEFAULT_BREAKER_COOLDOWN
+        finally:
+            fallback.close()
+
+
+class TestCrashLoop:
+    def test_five_kills_trip_degrade_and_recover(self, caplog):
+        backend = ShardedBackend(shards=2, procs=2)
+        try:
+            executor = backend._executor
+            # short cool-down so the test can watch the full open -> probe
+            # -> closed cycle without waiting out the production default
+            for breaker in executor._breakers:
+                breaker.cooldown = 0.3
+            db = chain(6)
+            assert backend.evaluate(NO_LOOPS, db) == ORACLE.evaluate(NO_LOOPS, db)
+            assert executor.stats()["proc_breaker_trips"] == 0
+
+            # every dispatch finds its worker dead: a crash loop with no
+            # healthy reply in between, so the death count never resets
+            faults.install(faults.FaultPlan().site("executor.crash"))
+            with caplog.at_level(logging.WARNING, logger="repro.engine.executors"):
+                for round_no in range(DEFAULT_BREAKER_THRESHOLD * 3):
+                    current = fresh_graph(round_no)
+                    assert backend.evaluate(NO_LOOPS, current) == (
+                        ORACLE.evaluate(NO_LOOPS, current)
+                    ), "degraded inline answers must stay correct"
+                    if executor.stats()["proc_breaker_trips"] >= 1:
+                        break
+            stats = executor.stats()
+            assert stats["proc_breaker_trips"] >= 1, "breaker never tripped"
+            assert "circuit breaker OPEN" in caplog.text
+            assert "open" in stats["proc_breaker_states"]
+
+            # while open: still correct, served inline, no respawn churn
+            restarts_when_open = executor.restarts
+            degraded = fresh_graph(97)
+            assert backend.evaluate(NO_LOOPS, degraded) == (
+                ORACLE.evaluate(NO_LOOPS, degraded)
+            )
+
+            # cool-down passes with the fault gone: the half-open probe
+            # respawns the worker and its healthy reply closes the breaker
+            faults.uninstall()
+            time.sleep(0.35)
+            recovered = fresh_graph(98)
+            assert backend.evaluate(NO_LOOPS, recovered) == (
+                ORACLE.evaluate(NO_LOOPS, recovered)
+            )
+            stats = executor.stats()
+            assert "closed" in stats["proc_breaker_states"]
+            assert executor.restarts > restarts_when_open  # the probe ran
+        finally:
+            backend.close()
+
+    def test_respawn_failures_also_trip(self, caplog):
+        backend = ShardedBackend(shards=2, procs=2)
+        try:
+            executor = backend._executor
+            for breaker in executor._breakers:
+                breaker.threshold = 2
+                breaker.cooldown = 60.0
+            db = chain(6)
+            assert backend.evaluate(NO_LOOPS, db) == ORACLE.evaluate(NO_LOOPS, db)
+            for worker in executor._workers:
+                worker.process.kill()
+                worker.process.join()
+            # every respawn attempt dies on the spot
+            faults.install(faults.FaultPlan().site("executor.spawn", exc="oserror"))
+            with caplog.at_level(logging.WARNING, logger="repro.engine.executors"):
+                for round_no in range(6):
+                    current = fresh_graph(round_no)
+                    assert backend.evaluate(NO_LOOPS, current) == (
+                        ORACLE.evaluate(NO_LOOPS, current)
+                    )
+                    if executor.stats()["proc_breaker_trips"] >= 1:
+                        break
+            assert executor.stats()["proc_breaker_trips"] >= 1
+            assert "circuit breaker OPEN" in caplog.text
+        finally:
+            faults.uninstall()
+            backend.close()
